@@ -1,0 +1,100 @@
+// Command srjbench reproduces the paper's evaluation: every table and
+// figure of Section V, at a configurable scale.
+//
+// Usage:
+//
+//	srjbench                      # run everything at the default scale
+//	srjbench -exp table3,figure9  # selected experiments only
+//	srjbench -base 100000         # larger datasets (castreet=base .. nyc=8*base)
+//	srjbench -t 1000000 -l 50     # override samples and window size
+//	srjbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// paperOrder is the presentation order of the experiments when running
+// everything.
+var paperOrder = []string{"table2", "figure4", "accuracy", "table3", "table4",
+	"figure5", "figure6", "figure7", "figure8", "figure9"}
+
+// run executes srjbench with explicit arguments and output so tests
+// can drive it directly.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("srjbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		base    = fs.Int("base", 50000, "base dataset size; the four datasets use base, 2x, 4x, 8x")
+		t       = fs.Int("t", 100000, "number of samples per run (the paper's t, scaled)")
+		l       = fs.Float64("l", 100, "window half-extent (the paper's l)")
+		seed    = fs.Uint64("seed", 1, "seed for data generation and sampling")
+		expList = fs.String("exp", "", "comma-separated experiments to run (default: all)")
+		format  = fs.String("format", "table", "output format: table or csv")
+		list    = fs.Bool("list", false, "list experiment names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale := exp.DefaultScale(*base)
+	scale.T = *t
+	scale.L = *l
+	scale.Seed = *seed
+	runners := exp.Runners(scale)
+
+	names := make([]string, 0, len(runners))
+	for n := range runners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if *list {
+		for _, n := range names {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+	}
+
+	selected := paperOrder
+	if *expList != "" {
+		selected = strings.Split(*expList, ",")
+	}
+	for _, name := range selected {
+		name = strings.TrimSpace(name)
+		runner, ok := runners[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(names, ", "))
+		}
+		start := time.Now()
+		tbl, err := runner()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		switch *format {
+		case "table":
+			fmt.Fprintln(stdout, tbl.Render())
+			fmt.Fprintf(stdout, "(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		case "csv":
+			fmt.Fprint(stdout, tbl.CSV())
+			fmt.Fprintln(stdout)
+		default:
+			return fmt.Errorf("unknown format %q (table or csv)", *format)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "srjbench: %v\n", err)
+		os.Exit(1)
+	}
+}

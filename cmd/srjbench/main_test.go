@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range paperOrder {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list missing %s", name)
+		}
+	}
+}
+
+func TestRunSelectedExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-base", "1500", "-t", "300", "-exp", "table2,figure9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table II") {
+		t.Error("output missing Table II")
+	}
+	if !strings.Contains(out.String(), "Figure 9") {
+		t.Error("output missing Figure 9")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "tableX"}, &out); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-base", "1500", "-t", "200", "-exp", "table2", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dataset,KDS,BBST") {
+		t.Fatalf("csv header missing:\n%s", out.String())
+	}
+	var bad bytes.Buffer
+	if err := run([]string{"-exp", "table2", "-format", "xml"}, &bad); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	srj "repro"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range srj.DatasetNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list output missing %s", name)
+		}
+	}
+}
+
+func TestGenerateWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.bin")
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "nyc", "-n", "500", "-seed", "3", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := srj.LoadPoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 500 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Same seed must regenerate identical data.
+	path2 := filepath.Join(dir, "pts2.bin")
+	if err := run([]string{"-dataset", "nyc", "-n", "500", "-seed", "3", "-out", path2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	pts2, err := srj.LoadPoints(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i] != pts2[i] {
+			t.Fatal("same-seed outputs differ")
+		}
+	}
+}
+
+func TestGenerateCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "uniform", "-n", "50", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := srj.LoadPoints(path)
+	if err != nil || len(pts) != 50 {
+		t.Fatalf("csv round trip: %v, %d", err, len(pts))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -out should fail")
+	}
+	if err := run([]string{"-out", "x.bin", "-n", "-5"}, &out); err == nil {
+		t.Error("negative -n should fail")
+	}
+	if err := run([]string{"-out", "x.bin", "-dataset", "bogus"}, &out); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir/x.bin", "-n", "1"}, &out); err == nil {
+		t.Error("unwritable path should fail")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	srj "repro"
+)
+
+// writeInputs generates two point files and returns their paths.
+func writeInputs(t *testing.T) (rPath, sPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	rPath = filepath.Join(dir, "r.bin")
+	sPath = filepath.Join(dir, "s.bin")
+	if err := srj.SavePoints(rPath, srj.MustGenerate("foursquare", 2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srj.SavePoints(sPath, srj.MustGenerate("foursquare", 2000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	return rPath, sPath
+}
+
+// parseCSV checks output shape and returns the number of lines.
+func parseCSV(t *testing.T, out string) int {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		return 0
+	}
+	for _, line := range lines {
+		fields := strings.Split(line, ",")
+		if len(fields) != 6 {
+			t.Fatalf("bad CSV line %q", line)
+		}
+		for _, f := range fields {
+			if _, err := strconv.ParseFloat(f, 64); err != nil {
+				t.Fatalf("non-numeric field %q in %q", f, line)
+			}
+		}
+	}
+	return len(lines)
+}
+
+func TestSampleAllAlgorithms(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	for _, algo := range srj.Algorithms() {
+		t.Run(string(algo), func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-algo", string(algo)}, &out, &errBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := parseCSV(t, out.String()); n != 100 {
+				t.Fatalf("got %d lines", n)
+			}
+		})
+	}
+}
+
+func TestSampleStatsFlag(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "50", "-stats"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"algorithm", "iterations", "sampling", "Σµ"} {
+		if !strings.Contains(errBuf.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, errBuf.String())
+		}
+	}
+}
+
+func TestSampleParallelWorkers(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "200", "-workers", "4"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if n := parseCSV(t, out.String()); n != 200 {
+		t.Fatalf("got %d lines", n)
+	}
+}
+
+func TestSampleFractionalCascading(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	var plain, fc, errBuf bytes.Buffer
+	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-seed", "9"}, &plain, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-seed", "9", "-fc"}, &fc, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != fc.String() {
+		t.Fatal("FC must not change the sample stream for equal seeds")
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	var out, errBuf bytes.Buffer
+	cases := [][]string{
+		{},                                       // missing paths
+		{"-r", rPath},                            // missing -s
+		{"-r", "/missing.bin", "-s", sPath},      // bad R path
+		{"-r", rPath, "-s", "/missing.bin"},      // bad S path
+		{"-r", rPath, "-s", sPath, "-l", "0"},    // invalid extent
+		{"-r", rPath, "-s", sPath, "-algo", "x"}, // unknown algorithm
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementFlag(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-without-replacement"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	seen := map[string]bool{}
+	for _, l := range lines {
+		f := strings.Split(l, ",")
+		key := f[0] + "|" + f[3]
+		if seen[key] {
+			t.Fatalf("duplicate pair %s with -without-replacement", key)
+		}
+		seen[key] = true
+	}
+}

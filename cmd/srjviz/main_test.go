@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	srj "repro"
+)
+
+func writeInputs(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	rPath := filepath.Join(dir, "r.bin")
+	sPath := filepath.Join(dir, "s.bin")
+	if err := srj.SavePoints(rPath, srj.MustGenerate("nyc", 3000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srj.SavePoints(sPath, srj.MustGenerate("nyc", 3000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	return rPath, sPath
+}
+
+func TestRendersHeatmap(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	for _, side := range []string{"r", "s", "mid"} {
+		var out bytes.Buffer
+		if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "2000", "-w", "40", "-h", "10", "-side", side}, &out); err != nil {
+			t.Fatalf("side %s: %v", side, err)
+		}
+		lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+		// Header + 10 rows.
+		if len(lines) != 11 {
+			t.Fatalf("side %s: got %d lines", side, len(lines))
+		}
+		if !strings.Contains(lines[0], "|J| est=") {
+			t.Fatalf("header missing estimate: %q", lines[0])
+		}
+		for _, row := range lines[1:] {
+			if len([]rune(row)) != 40 {
+				t.Fatalf("row width %d, want 40", len([]rune(row)))
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	var out bytes.Buffer
+	cases := [][]string{
+		{},
+		{"-r", rPath},
+		{"-r", "/missing", "-s", sPath},
+		{"-r", rPath, "-s", sPath, "-side", "bogus"},
+		{"-r", rPath, "-s", sPath, "-w", "0"},
+		{"-r", rPath, "-s", sPath, "-l", "-1"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestDegenerateDomain(t *testing.T) {
+	dir := t.TempDir()
+	rPath := filepath.Join(dir, "r.bin")
+	sPath := filepath.Join(dir, "s.bin")
+	// All points identical: bounding box has zero area.
+	pts := []srj.Point{{X: 5, Y: 5, ID: 0}, {X: 5, Y: 5, ID: 1}}
+	if err := srj.SavePoints(rPath, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := srj.SavePoints(sPath, pts); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "1", "-t", "10", "-w", "8", "-h", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}

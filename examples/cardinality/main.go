@@ -1,0 +1,56 @@
+// Cardinality: estimate spatial join sizes from the sampler's own
+// acceptance statistics — the AI/ML-for-databases application the
+// paper's introduction highlights (training data for learned
+// cardinality estimators and query optimizers).
+//
+// The BBST sampler accepts each iteration with probability |J| / Σµ,
+// and Σµ is known exactly after the counting phase. The acceptance
+// rate therefore gives an unbiased estimate of |J| that sharpens as
+// more samples are drawn — no join is ever executed. The example
+// sweeps several window sizes, compares the estimates against exact
+// join sizes, and emits the (l, |J|-estimate) pairs a learned
+// estimator would train on.
+//
+// Run with:
+//
+//	go run ./examples/cardinality
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	srj "repro"
+)
+
+func main() {
+	R := srj.MustGenerate("castreet", 80_000, 1)
+	S := srj.MustGenerate("castreet", 80_000, 2)
+
+	fmt.Println("   l     exact |J|     estimate      error   samples-used")
+	fmt.Println("----  ------------  ------------  ---------  ------------")
+
+	for _, l := range []float64{25, 50, 100, 200} {
+		sampler, err := srj.NewSampler(R, S, l, &srj.Options{Seed: uint64(l)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		const draws = 50_000
+		if _, err := sampler.Sample(draws); err != nil {
+			log.Fatal(err)
+		}
+		st := sampler.Stats()
+		// acceptance = Samples/Iterations estimates |J|/Σµ.
+		estimate := float64(st.Samples) / float64(st.Iterations) * st.MuSum
+
+		exact := float64(srj.JoinSize(R, S, l))
+		errPct := math.Abs(estimate-exact) / exact * 100
+		fmt.Printf("%4.0f  %12.0f  %12.0f  %8.2f%%  %12d\n", l, exact, estimate, errPct, st.Samples)
+	}
+
+	fmt.Println()
+	fmt.Println("The estimate needs no join execution: it falls out of the sampler's")
+	fmt.Println("acceptance rate and the known upper-bound mass Σµ. A learned cardinality")
+	fmt.Println("model would consume thousands of such (query, cardinality) pairs.")
+}

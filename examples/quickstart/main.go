@@ -1,0 +1,59 @@
+// Quickstart: draw uniform random samples from a spatial range join
+// without computing the join.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	srj "repro"
+)
+
+func main() {
+	// Two synthetic POI datasets on the [0, 10000]^2 domain. In a real
+	// deployment these would be your own points; only X, Y, and a
+	// caller-chosen ID are needed.
+	R := srj.MustGenerate("foursquare", 200_000, 1)
+	S := srj.MustGenerate("foursquare", 200_000, 2)
+
+	// w(r) is the square window [r.X-l, r.X+l] x [r.Y-l, r.Y+l]; the
+	// join J pairs every r with every s inside w(r).
+	const l = 100.0
+
+	// The default sampler is the paper's BBST algorithm: Õ(n+m+t)
+	// expected time, O(n+m) space.
+	sampler, err := srj.NewSampler(R, S, l, &srj.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Draw a million uniform, independent samples of J.
+	pairs, err := sampler.Sample(1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("drew %d join samples; first three:\n", len(pairs))
+	for _, p := range pairs[:3] {
+		fmt.Printf("  r=%v  s=%v\n", p.R, p.S)
+	}
+
+	// Every sampler reports the paper's phase decomposition.
+	st := sampler.Stats()
+	fmt.Printf("\nphases: preprocess=%v  grid-mapping=%v  upper-bounding=%v  sampling=%v\n",
+		st.PreprocessTime, st.GridMapTime, st.UpperBoundTime, st.SampleTime)
+	fmt.Printf("sampling iterations: %d for %d samples (acceptance %.1f%%)\n",
+		st.Iterations, st.Samples, 100*float64(st.Samples)/float64(st.Iterations))
+
+	// Samples can also be drawn progressively (t = ∞ in the paper's
+	// Definition 2): stop whenever you have enough.
+	one, err := sampler.Next()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one more on demand: %v\n", one)
+}

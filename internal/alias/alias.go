@@ -1,0 +1,259 @@
+// Package alias implements Walker's alias method for weighted random
+// sampling, using Vose's O(n) construction. Given n non-negative
+// weights, a Table draws index i with probability w_i / Σw in O(1)
+// worst-case time per draw.
+//
+// Both baseline algorithms and the BBST algorithm of the paper rely on
+// this structure: once per query an alias table is built over the
+// per-point upper bounds µ(r), and each of the t sampling iterations
+// performs a single O(1) weighted draw from it.
+package alias
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Table is an immutable alias table over a fixed weight vector.
+type Table struct {
+	prob  []float64 // probability of keeping column i (scaled to [0,1])
+	alias []int32   // fallback index when the coin flip rejects column i
+	total float64   // sum of the input weights
+}
+
+// ErrNoWeight is returned when the weight vector is empty or sums to
+// zero; no distribution can be defined in that case.
+var ErrNoWeight = errors.New("alias: weights are empty or sum to zero")
+
+// New builds an alias table from the given weights in O(n) time.
+// Negative or NaN weights are rejected.
+func New(weights []float64) (*Table, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrNoWeight
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || w != w {
+			return nil, fmt.Errorf("alias: weight %d is invalid (%g)", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, ErrNoWeight
+	}
+
+	t := &Table{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		total: total,
+	}
+
+	// Vose's method: classify scaled weights into "small" (< 1) and
+	// "large" (>= 1) worklists, then repeatedly pair one of each.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	scale := float64(n) / total
+	for i, w := range weights {
+		scaled[i] = w * scale
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Remaining entries should be exactly 1 up to floating error.
+	for _, l := range large {
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	for _, s := range small {
+		t.prob[s] = 1
+		t.alias[s] = s
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for weights known to be valid.
+func MustNew(weights []float64) *Table {
+	t, err := New(weights)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of weights the table was built over.
+func (t *Table) Len() int { return len(t.prob) }
+
+// Total returns the sum of the input weights.
+func (t *Table) Total() float64 { return t.total }
+
+// Sample draws an index with probability proportional to its weight.
+func (t *Table) Sample(r *rng.RNG) int {
+	i := r.Intn(len(t.prob))
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// SizeBytes reports the memory footprint of the table, used by the
+// memory-usage experiment (Fig. 4).
+func (t *Table) SizeBytes() int {
+	return len(t.prob)*8 + len(t.alias)*4 + 8
+}
+
+// Small is a fixed-capacity alias table specialized for the per-point
+// cell distribution A_r of Algorithm 1: every r has at most nine
+// overlapping cells, so the table fits in a small inline array and
+// avoids per-query heap allocation. The zero value is empty; call
+// Reset to (re)build it.
+type Small struct {
+	prob  [9]float64
+	alias [9]int8
+	n     int8
+	total float64
+}
+
+// Reset rebuilds the table in place over weights[:n], n <= 9. Zero
+// total leaves the table empty (Len() == 0).
+func (s *Small) Reset(weights []float64) {
+	if len(weights) > 9 {
+		panic("alias: Small supports at most 9 weights")
+	}
+	s.n = int8(len(weights))
+	s.total = 0
+	for _, w := range weights {
+		s.total += w
+	}
+	if s.total <= 0 {
+		s.n = 0
+		return
+	}
+	var scaled [9]float64
+	var small, large [9]int8
+	ns, nl := 0, 0
+	scale := float64(len(weights)) / s.total
+	for i, w := range weights {
+		scaled[i] = w * scale
+		if scaled[i] < 1 {
+			small[ns] = int8(i)
+			ns++
+		} else {
+			large[nl] = int8(i)
+			nl++
+		}
+	}
+	for ns > 0 && nl > 0 {
+		ns--
+		sm := small[ns]
+		nl--
+		lg := large[nl]
+		s.prob[sm] = scaled[sm]
+		s.alias[sm] = lg
+		scaled[lg] -= 1 - scaled[sm]
+		if scaled[lg] < 1 {
+			small[ns] = lg
+			ns++
+		} else {
+			large[nl] = lg
+			nl++
+		}
+	}
+	for i := 0; i < nl; i++ {
+		s.prob[large[i]] = 1
+		s.alias[large[i]] = large[i]
+	}
+	for i := 0; i < ns; i++ {
+		s.prob[small[i]] = 1
+		s.alias[small[i]] = small[i]
+	}
+}
+
+// Len returns the number of weights in the table (0 when empty).
+func (s *Small) Len() int { return int(s.n) }
+
+// Total returns the sum of the weights the table was built over.
+func (s *Small) Total() float64 { return s.total }
+
+// Sample draws an index in [0, Len()) proportionally to its weight.
+// It panics when the table is empty.
+func (s *Small) Sample(r *rng.RNG) int {
+	i := r.Intn(int(s.n))
+	if r.Float64() < s.prob[i] {
+		return i
+	}
+	return int(s.alias[i])
+}
+
+// Cumulative is the binary-search alternative to the alias method:
+// O(n) build like the alias table, but O(log n) per draw instead of
+// O(1). The paper picks Walker's method for its O(1) draws; this type
+// exists so the ablation benchmarks can quantify that choice.
+type Cumulative struct {
+	prefix []float64 // prefix[i] = sum of weights[0..i]
+}
+
+// NewCumulative builds the prefix-sum sampler. The same weight rules
+// as New apply.
+func NewCumulative(weights []float64) (*Cumulative, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrNoWeight
+	}
+	c := &Cumulative{prefix: make([]float64, n)}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || w != w {
+			return nil, fmt.Errorf("alias: weight %d is invalid (%g)", i, w)
+		}
+		total += w
+		c.prefix[i] = total
+	}
+	if total <= 0 {
+		return nil, ErrNoWeight
+	}
+	return c, nil
+}
+
+// Len returns the number of weights.
+func (c *Cumulative) Len() int { return len(c.prefix) }
+
+// Total returns the sum of the weights.
+func (c *Cumulative) Total() float64 { return c.prefix[len(c.prefix)-1] }
+
+// Sample draws an index proportionally to its weight in O(log n).
+func (c *Cumulative) Sample(r *rng.RNG) int {
+	u := r.Float64() * c.Total()
+	lo, hi := 0, len(c.prefix)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.prefix[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SizeBytes reports the structure footprint.
+func (c *Cumulative) SizeBytes() int { return 8 * len(c.prefix) }

@@ -1,0 +1,232 @@
+package bbst
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Fractional cascading (Chazelle & Guibas), the optional optimization
+// the paper cites in Section IV-D and Lemma 4: it replaces the
+// per-node binary searches of a corner query with O(1) bridge lookups,
+// reducing case-3 cost from O(log^2 m) to O(log m).
+//
+// Every node's subtree array (one per y-order) is augmented with
+// bridge indices into the corresponding arrays of its children and
+// into its own b-list: bridge[i] is the first position in the target
+// array whose y key is >= the source's y key at position i (with a
+// sentinel at i == len(source)). Because a child's array is a
+// value-subset of its parent's, the first position matching a query
+// threshold in the child equals the bridge of the first matching
+// position in the parent — so one binary search at the root seeds the
+// whole traversal.
+
+// bridges holds the cascade indices of one node for one y-order.
+type bridges struct {
+	left  []int32 // into left child's subtree array
+	right []int32 // into right child's subtree array
+	own   []int32 // into the node's own b-list
+}
+
+// fcNode carries the two per-order bridge sets of one node.
+type fcNode struct {
+	min bridges // for the MinY-sorted arrays
+	max bridges // for the MaxY-sorted arrays
+}
+
+// EnableFractionalCascading builds the bridge structures for both
+// trees. Idempotent; costs O(total array length) time and memory.
+func (p *Pair) EnableFractionalCascading() {
+	if p.fcOn || len(p.buckets) == 0 {
+		return
+	}
+	p.fcOn = true
+	p.buildFC(p.tMin.root)
+	p.buildFC(p.tMax.root)
+}
+
+// HasFractionalCascading reports whether bridges are built.
+func (p *Pair) HasFractionalCascading() bool { return p.fcOn }
+
+// buildFC computes the bridges of the subtree rooted at u.
+func (p *Pair) buildFC(u *node) {
+	if u == nil {
+		return
+	}
+	fn := &fcNode{}
+	minKey := func(id int32) float64 { return p.buckets[id].MinY }
+	maxKey := func(id int32) float64 { return p.buckets[id].MaxY }
+	var leftMin, leftMax, rightMin, rightMax []int32
+	if u.left != nil {
+		leftMin, leftMax = u.left.aMinY, u.left.aMaxY
+	}
+	if u.right != nil {
+		rightMin, rightMax = u.right.aMinY, u.right.aMaxY
+	}
+	fn.min.left = buildBridge(u.aMinY, leftMin, minKey)
+	fn.min.right = buildBridge(u.aMinY, rightMin, minKey)
+	fn.min.own = buildBridge(u.aMinY, u.bMinY, minKey)
+	fn.max.left = buildBridge(u.aMaxY, leftMax, maxKey)
+	fn.max.right = buildBridge(u.aMaxY, rightMax, maxKey)
+	fn.max.own = buildBridge(u.aMaxY, u.bMaxY, maxKey)
+	u.fc = fn
+	p.buildFC(u.left)
+	p.buildFC(u.right)
+}
+
+// buildBridge computes, for every position i of src (plus a sentinel),
+// the first position j of dst with key(dst[j]) >= key(src[i]). Both
+// arrays are ascending in key, so a single merge pass suffices.
+func buildBridge(src, dst []int32, key func(int32) float64) []int32 {
+	out := make([]int32, len(src)+1)
+	j := 0
+	for i, id := range src {
+		for j < len(dst) && key(dst[j]) < key(id) {
+			j++
+		}
+		out[i] = int32(j)
+	}
+	out[len(src)] = int32(len(dst))
+	return out
+}
+
+// decomposeFC is the cascaded version of decompose: identical pieces
+// and total, but only the root lookup is a binary search.
+func (p *Pair) decomposeFC(c Corner, w geom.Rect, dst []piece) ([]piece, int) {
+	qx, qy, xGE, yGE := cornerQuery(c, w)
+	var u *node
+	if xGE {
+		u = p.tMax.root
+	} else {
+		u = p.tMin.root
+	}
+	if u == nil {
+		return dst, 0
+	}
+
+	// One binary search at the root for the y threshold position:
+	// for yGE (suffix of the MaxY order) the position of the first
+	// element with MaxY >= qy; for yLE (prefix of the MinY order) the
+	// position of the first element with MinY > qy.
+	arr := func(n *node) []int32 {
+		if yGE {
+			return n.aMaxY
+		}
+		return n.aMinY
+	}
+	blist := func(n *node) []int32 {
+		if yGE {
+			return n.bMaxY
+		}
+		return n.bMinY
+	}
+	br := func(n *node) bridges {
+		if yGE {
+			return n.fc.max
+		}
+		return n.fc.min
+	}
+	rootArr := arr(u)
+	var pos int32
+	if yGE {
+		pos = int32(sort.Search(len(rootArr), func(i int) bool {
+			return p.buckets[rootArr[i]].MaxY >= qy
+		}))
+	} else {
+		pos = int32(sort.Search(len(rootArr), func(i int) bool {
+			return p.buckets[rootArr[i]].MinY > qy
+		}))
+	}
+
+	total := 0
+	// addA emits the matching region of node n's subtree array given
+	// the cascaded position q (first >= / first > position).
+	addA := func(n *node, q int32) {
+		ids := arr(n)
+		var lo, hi int32
+		if yGE {
+			lo, hi = q, int32(len(ids))
+		} else {
+			lo, hi = 0, q
+		}
+		if lo < hi {
+			dst = append(dst, piece{ids: ids, lo: lo, hi: hi})
+			total += int(hi - lo)
+		}
+	}
+	addB := func(n *node, q int32) {
+		ids := blist(n)
+		var lo, hi int32
+		if yGE {
+			lo, hi = q, int32(len(ids))
+		} else {
+			lo, hi = 0, q
+		}
+		if lo < hi {
+			dst = append(dst, piece{ids: ids, lo: lo, hi: hi})
+			total += int(hi - lo)
+		}
+	}
+
+	for u != nil {
+		b := br(u)
+		if xGE {
+			if u.x < qx {
+				if u.right == nil {
+					break
+				}
+				pos = b.right[pos]
+				u = u.right
+				continue
+			}
+			addB(u, b.own[pos])
+			if u.right != nil {
+				addA(u.right, b.right[pos])
+			}
+			if u.x == qx || u.left == nil {
+				break
+			}
+			pos = b.left[pos]
+			u = u.left
+		} else {
+			if u.x > qx {
+				if u.left == nil {
+					break
+				}
+				pos = b.left[pos]
+				u = u.left
+				continue
+			}
+			addB(u, b.own[pos])
+			if u.left != nil {
+				addA(u.left, b.left[pos])
+			}
+			if u.x == qx || u.right == nil {
+				break
+			}
+			pos = b.right[pos]
+			u = u.right
+		}
+	}
+	return dst, total
+}
+
+// SizeBytesFC reports the extra footprint of the bridge structures
+// (0 when fractional cascading is disabled).
+func (p *Pair) SizeBytesFC() int {
+	total := 0
+	var walk func(u *node)
+	walk = func(u *node) {
+		if u == nil || u.fc == nil {
+			return
+		}
+		fn := u.fc
+		total += 4 * (len(fn.min.left) + len(fn.min.right) + len(fn.min.own) +
+			len(fn.max.left) + len(fn.max.right) + len(fn.max.own))
+		walk(u.left)
+		walk(u.right)
+	}
+	walk(p.tMin.root)
+	walk(p.tMax.root)
+	return total
+}

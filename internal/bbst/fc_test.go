@@ -1,0 +1,182 @@
+package bbst
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// buildBoth returns the same point set indexed with and without
+// fractional cascading.
+func buildBoth(t testing.TB, pts []geom.Point, cap int) (plain, fc *Pair) {
+	t.Helper()
+	var err error
+	plain, err = Build(pts, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err = Build(pts, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.EnableFractionalCascading()
+	return plain, fc
+}
+
+func TestFCIdempotentAndEmpty(t *testing.T) {
+	p, err := Build(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableFractionalCascading()
+	if p.HasFractionalCascading() {
+		t.Fatal("empty pair should not enable FC")
+	}
+	pts := sortedPoints(rng.New(1), 100, 10)
+	p2, err := Build(pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.EnableFractionalCascading()
+	p2.EnableFractionalCascading() // second call must be a no-op
+	if !p2.HasFractionalCascading() {
+		t.Fatal("FC not enabled")
+	}
+	if p2.SizeBytesFC() <= 0 {
+		t.Fatal("FC bridges should have positive size")
+	}
+}
+
+// TestFCCountEquivalence: the cascaded decomposition must return
+// exactly the same counts as the binary-search decomposition for all
+// corners and random windows.
+func TestFCCountEquivalence(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{1, 7, 64, 500, 3000} {
+		pts := sortedPoints(r, n, 50)
+		plain, fc := buildBoth(t, pts, BucketCap(n))
+		var s1, s2 Scratch
+		for trial := 0; trial < 400; trial++ {
+			q := geom.Point{X: r.Range(-5, 55), Y: r.Range(-5, 55)}
+			w := geom.Window(q, r.Range(0.1, 20))
+			for _, c := range allCorners {
+				want := plain.CountBucketsS(c, w, &s1)
+				got := fc.CountBucketsS(c, w, &s2)
+				if got != want {
+					t.Fatalf("n=%d %v: FC count %d != plain %d (w=%v)", n, c, got, want, w)
+				}
+			}
+		}
+	}
+}
+
+func TestFCWithDuplicateYKeys(t *testing.T) {
+	// Equal y keys stress the >= / > boundary of the bridges.
+	r := rng.New(3)
+	pts := make([]geom.Point, 400)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, 20), Y: float64(i % 4), ID: int32(i)}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	plain, fc := buildBoth(t, pts, 8)
+	for trial := 0; trial < 500; trial++ {
+		// Windows whose y edges land exactly on the duplicated keys.
+		q := geom.Point{X: r.Range(0, 20), Y: float64(r.Intn(5))}
+		w := geom.Window(q, float64(r.Intn(3))+0.0) // integer extents hit exact keys
+		if w.YMax == w.YMin {
+			w.YMax++
+		}
+		for _, c := range allCorners {
+			if got, want := fc.CountBuckets(c, w, nil), plain.CountBuckets(c, w, nil); got != want {
+				t.Fatalf("%v: FC %d != plain %d (w=%v)", c, got, want, w)
+			}
+		}
+	}
+}
+
+func TestFCSampleEquivalence(t *testing.T) {
+	// The FC decomposition must expose the identical slot universe:
+	// with the same RNG stream both samplers return the same points.
+	r := rng.New(4)
+	pts := sortedPoints(r, 600, 30)
+	plain, fc := buildBoth(t, pts, BucketCap(600))
+	for trial := 0; trial < 300; trial++ {
+		q := geom.Point{X: r.Range(0, 30), Y: r.Range(0, 30)}
+		w := geom.Window(q, 5)
+		for _, c := range allCorners {
+			r1 := rng.New(uint64(trial))
+			r2 := rng.New(uint64(trial))
+			p1, ok1 := plain.SampleSlot(c, w, r1, nil)
+			p2, ok2 := fc.SampleSlot(c, w, r2, nil)
+			if ok1 != ok2 || (ok1 && p1 != p2) {
+				t.Fatalf("%v: FC sample (%v,%v) != plain (%v,%v)", c, p2, ok2, p1, ok1)
+			}
+		}
+	}
+}
+
+func TestFCQuickEquivalence(t *testing.T) {
+	f := func(seed uint64, qx, qy, l float64) bool {
+		rr := rng.New(seed)
+		n := 1 + rr.Intn(300)
+		pts := sortedPoints(rr, n, 40)
+		plain, err := Build(pts, BucketCap(n))
+		if err != nil {
+			return false
+		}
+		fc, err := Build(pts, BucketCap(n))
+		if err != nil {
+			return false
+		}
+		fc.EnableFractionalCascading()
+		q := geom.Point{X: mod(qx, 40), Y: mod(qy, 40)}
+		w := geom.Window(q, mod(l, 15)+0.01)
+		for _, c := range allCorners {
+			if plain.CountBuckets(c, w, nil) != fc.CountBuckets(c, w, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mod(v, m float64) float64 {
+	x := v - float64(int(v/m))*m
+	if x < 0 {
+		x += m
+	}
+	return x
+}
+
+func BenchmarkCountPlain(b *testing.B) {
+	r := rng.New(5)
+	n := 1 << 15
+	pts := sortedPoints(r, n, 1000)
+	p, _ := Build(pts, BucketCap(n))
+	w := geom.Window(geom.Point{X: 500, Y: 500}, 100)
+	var s Scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.CountBucketsS(SouthWest, w, &s)
+	}
+}
+
+func BenchmarkCountFC(b *testing.B) {
+	r := rng.New(5)
+	n := 1 << 15
+	pts := sortedPoints(r, n, 1000)
+	p, _ := Build(pts, BucketCap(n))
+	p.EnableFractionalCascading()
+	w := geom.Window(geom.Point{X: 500, Y: 500}, 100)
+	var s Scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.CountBucketsS(SouthWest, w, &s)
+	}
+}

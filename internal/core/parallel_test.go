@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/join"
+	"repro/internal/rng"
+)
+
+// cloners returns the samplers that support Clone.
+func cloners(R, S []geom.Point, cfg Config) map[string]Cloner {
+	out := map[string]Cloner{}
+	if s, err := NewKDS(R, S, cfg); err == nil {
+		out["KDS"] = s
+	}
+	if s, err := NewKDSRejection(R, S, cfg); err == nil {
+		out["KDS-rejection"] = s
+	}
+	if s, err := NewBBST(R, S, cfg); err == nil {
+		out["BBST"] = s
+	}
+	if s, err := NewGridKD(R, S, cfg); err == nil {
+		out["GridKD"] = s
+	}
+	if s, err := NewJoinSample(R, S, cfg); err == nil {
+		out["JoinSample"] = s
+	}
+	return out
+}
+
+func TestParallelSampleBasics(t *testing.T) {
+	r := rng.New(1)
+	R := randomPoints(r, 300, 40, 0)
+	S := randomPoints(r, 300, 40, 10000)
+	const l = 5.0
+	for name, s := range cloners(R, S, Config{HalfExtent: l, Seed: 3}) {
+		t.Run(name, func(t *testing.T) {
+			pairs, err := ParallelSample(s, 5000, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pairs) != 5000 {
+				t.Fatalf("got %d pairs", len(pairs))
+			}
+			for _, p := range pairs {
+				if !geom.InWindow(p.R, p.S, l) {
+					t.Fatalf("invalid pair %v", p)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelSampleEdgeCases(t *testing.T) {
+	r := rng.New(2)
+	R := randomPoints(r, 50, 10, 0)
+	S := randomPoints(r, 50, 10, 10000)
+	s, err := NewBBST(R, S, Config{HalfExtent: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParallelSample(s, -1, 4); err == nil {
+		t.Error("negative t should fail")
+	}
+	if _, err := ParallelSample(s, 10, 0); err == nil {
+		t.Error("zero workers should fail")
+	}
+	out, err := ParallelSample(s, 0, 4)
+	if err != nil || len(out) != 0 {
+		t.Errorf("t=0: %d pairs, %v", len(out), err)
+	}
+	// More workers than samples.
+	out, err = ParallelSample(s, 3, 16)
+	if err != nil || len(out) != 3 {
+		t.Errorf("t=3 workers=16: %d pairs, %v", len(out), err)
+	}
+}
+
+func TestParallelSampleRejectsWithoutReplacement(t *testing.T) {
+	r := rng.New(3)
+	R := randomPoints(r, 50, 10, 0)
+	S := randomPoints(r, 50, 10, 10000)
+	s, err := NewBBST(R, S, Config{HalfExtent: 3, Seed: 1, WithoutReplacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParallelSample(s, 100, 4); !errors.Is(err, ErrNoParallelWithoutReplacement) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestParallelUniformity: the union of worker outputs must still be
+// uniform over J.
+func TestParallelUniformity(t *testing.T) {
+	r := rng.New(4)
+	R := randomPoints(r, 25, 12, 0)
+	S := randomPoints(r, 25, 12, 10000)
+	const l = 3.0
+	joined := join.Materialize(R, S, l)
+	if len(joined) < 20 {
+		t.Fatalf("setup: |J| = %d", len(joined))
+	}
+	jset := map[string]bool{}
+	for _, p := range joined {
+		jset[pairID(p)] = true
+	}
+	s, err := NewBBST(R, S, Config{HalfExtent: l, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 120000
+	pairs, err := ParallelSample(s, draws, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, p := range pairs {
+		k := pairID(p)
+		if !jset[k] {
+			t.Fatalf("pair %s not in J", k)
+		}
+		counts[k]++
+	}
+	expected := float64(draws) / float64(len(joined))
+	chi2 := 0.0
+	for k := range jset {
+		d := float64(counts[k]) - expected
+		chi2 += d * d / expected
+	}
+	dof := float64(len(joined) - 1)
+	if limit := dof + 4*math.Sqrt(2*dof) + 10; chi2 > limit {
+		t.Fatalf("parallel samples skewed: chi2 = %.1f > %.1f", chi2, limit)
+	}
+}
+
+// TestClonesConcurrentlySafe hammers clones from many goroutines with
+// the race detector in mind (go test -race).
+func TestClonesConcurrentlySafe(t *testing.T) {
+	r := rng.New(5)
+	R := clustered(r, 500, 60, 0)
+	S := clustered(r, 500, 60, 10000)
+	for name, s := range cloners(R, S, Config{HalfExtent: 5, Seed: 7}) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make([]error, 8)
+			for i := 0; i < 8; i++ {
+				c, err := s.Clone()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(i int, c Sampler) {
+					defer wg.Done()
+					for k := 0; k < 500; k++ {
+						if _, err := c.Next(); err != nil {
+							errs[i] = err
+							return
+						}
+					}
+				}(i, c)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCloneStreamsDiffer: two clones must not produce the same sample
+// sequence.
+func TestCloneStreamsDiffer(t *testing.T) {
+	r := rng.New(6)
+	R := randomPoints(r, 200, 30, 0)
+	S := randomPoints(r, 200, 30, 10000)
+	s, err := NewBBST(R, S, Config{HalfExtent: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := s.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c1.Sample(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c2.Sample(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Fatalf("clones produced %d/%d identical samples", same, len(a))
+	}
+}

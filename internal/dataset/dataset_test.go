@@ -1,0 +1,259 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func TestAllGeneratorsBasics(t *testing.T) {
+	for _, name := range Names() {
+		gen, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 100, 5000} {
+				pts := gen(n, 42)
+				if len(pts) != n {
+					t.Fatalf("n=%d: got %d points", n, len(pts))
+				}
+				ids := map[int32]bool{}
+				for _, p := range pts {
+					if p.X < 0 || p.X > Domain || p.Y < 0 || p.Y > Domain {
+						t.Fatalf("point %v outside domain", p)
+					}
+					if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+						t.Fatalf("NaN coordinate in %v", p)
+					}
+					if ids[p.ID] {
+						t.Fatalf("duplicate ID %d", p.ID)
+					}
+					ids[p.ID] = true
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		gen, _ := ByName(name)
+		a := gen(1000, 7)
+		b := gen(1000, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: point %d differs across equal-seed runs", name, i)
+			}
+		}
+		c := gen(1000, 8)
+		same := 0
+		for i := range a {
+			if a[i].X == c[i].X && a[i].Y == c[i].Y {
+				same++
+			}
+		}
+		if same > 10 {
+			t.Fatalf("%s: different seeds produced %d identical points", name, same)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+// TestDistributionShapes sanity-checks the family-specific skew: the
+// clustered families must concentrate mass much more than uniform.
+func TestDistributionShapes(t *testing.T) {
+	const n = 20000
+	occupancy := func(pts []geom.Point) float64 {
+		g, err := grid.Build(pts, 100) // 100x100 cells over the domain
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(g.NumCells())
+	}
+	uni := occupancy(Uniform(n, 1))
+	for _, name := range []string{"castreet", "foursquare", "nyc", "imis"} {
+		gen, _ := ByName(name)
+		if occ := occupancy(gen(n, 1)); occ >= uni {
+			t.Errorf("%s occupies %g cells, expected fewer than uniform's %g (skew missing)", name, occ, uni)
+		}
+	}
+}
+
+// TestTrajectoryCorrelation: consecutive IMIS points of one vessel
+// must be close (smooth trajectories).
+func TestTrajectoryCorrelation(t *testing.T) {
+	pts := IMIS(10000, 3)
+	close := 0
+	for i := 1; i < 2000; i++ {
+		if math.Hypot(pts[i].X-pts[i-1].X, pts[i].Y-pts[i-1].Y) < 50 {
+			close++
+		}
+	}
+	if close < 1500 {
+		t.Fatalf("only %d/2000 consecutive IMIS points are close; trajectories not smooth", close)
+	}
+}
+
+func TestNYCSnapping(t *testing.T) {
+	pts := NYC(5000, 4)
+	// Most points should be within a few units of the 12-unit lattice.
+	snapped := 0
+	for _, p := range pts {
+		dx := math.Abs(p.X - math.Round(p.X/12)*12)
+		if dx < 5 {
+			snapped++
+		}
+	}
+	if snapped < len(pts)*8/10 {
+		t.Fatalf("only %d/%d NYC points near the lattice", snapped, len(pts))
+	}
+}
+
+func TestSplitRS(t *testing.T) {
+	pts := Uniform(10000, 5)
+	R, S := SplitRS(pts, 0.5, 9)
+	if len(R)+len(S) != len(pts) {
+		t.Fatalf("split lost points: %d + %d != %d", len(R), len(S), len(pts))
+	}
+	if math.Abs(float64(len(R))-5000) > 300 {
+		t.Fatalf("unbalanced split: |R| = %d", len(R))
+	}
+	for i, p := range R {
+		if p.ID != int32(i) {
+			t.Fatal("R IDs not dense")
+		}
+	}
+	for i, p := range S {
+		if p.ID != int32(i) {
+			t.Fatal("S IDs not dense")
+		}
+	}
+	// Skewed ratio.
+	R2, _ := SplitRS(pts, 0.1, 9)
+	if math.Abs(float64(len(R2))-1000) > 150 {
+		t.Fatalf("ratio 0.1 split: |R| = %d", len(R2))
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	pts := Uniform(1000, 6)
+	for _, f := range []float64{0, 0.2, 0.5, 1.0, 1.5} {
+		got := Prefix(pts, f)
+		want := int(1000 * math.Min(f, 1))
+		if f <= 0 {
+			want = 0
+		}
+		if len(got) != want {
+			t.Fatalf("fraction %g: got %d, want %d", f, len(got), want)
+		}
+		for i, p := range got {
+			if p.ID != int32(i) {
+				t.Fatal("Prefix IDs not dense")
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := Foursquare(500, 7)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("got %d points", len(got))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d: %v != %v", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2\n",   // too few fields
+		"a,2,3\n", // bad id
+		"1,x,3\n", // bad x
+		"1,2,y\n", // bad y
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", c)
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := ReadCSV(bytes.NewBufferString("# header\n\n1,2,3\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("comment handling: %v, %d", err, len(got))
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	pts := NYC(1000, 8)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("got %d points", len(got))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewBufferString("garbage-data")); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := ReadBinary(bytes.NewBuffer(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pts := CaStreet(200, 9)
+	for _, name := range []string{"pts.csv", "pts.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, pts); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(pts) {
+			t.Fatalf("%s: got %d points", name, len(got))
+		}
+		for i := range pts {
+			if got[i] != pts[i] {
+				t.Fatalf("%s: point %d differs", name, i)
+			}
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// WriteCSV writes points as "id,x,y" lines.
+func WriteCSV(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(bw, "%d,%g,%g\n", p.ID, p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses "id,x,y" lines (blank lines and #-comments ignored).
+func ReadCSV(r io.Reader) ([]geom.Point, error) {
+	var pts []geom.Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("dataset: line %d: want 3 fields, got %d", lineNo, len(parts))
+		}
+		id, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad id: %w", lineNo, err)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad x: %w", lineNo, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad y: %w", lineNo, err)
+		}
+		pts = append(pts, geom.Point{X: x, Y: y, ID: int32(id)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// binaryMagic guards the binary format against accidental misuse.
+const binaryMagic = uint32(0x53524a31) // "SRJ1"
+
+// WriteBinary writes points in a compact little-endian binary format:
+// magic, count, then (id int32, x float64, y float64) records.
+func WriteBinary(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, binaryMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(pts))); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := binary.Write(bw, binary.LittleEndian, p.ID); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.X); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Y); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the WriteBinary format.
+func ReadBinary(r io.Reader) ([]geom.Point, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad magic %#x", magic)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("dataset: reading count: %w", err)
+	}
+	const maxPoints = 1 << 32
+	if count > maxPoints {
+		return nil, fmt.Errorf("dataset: implausible point count %d", count)
+	}
+	pts := make([]geom.Point, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var id int32
+		var x, y float64
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &y); err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %w", i, err)
+		}
+		pts = append(pts, geom.Point{X: x, Y: y, ID: id})
+	}
+	return pts, nil
+}
+
+// SaveFile writes pts to path, choosing CSV for ".csv" suffixes and
+// the binary format otherwise.
+func SaveFile(path string, pts []geom.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		if err := WriteCSV(f, pts); err != nil {
+			return err
+		}
+	} else {
+		if err := WriteBinary(f, pts); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// LoadFile reads pts from path using the extension rule of SaveFile.
+func LoadFile(path string) ([]geom.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return ReadCSV(f)
+	}
+	return ReadBinary(f)
+}

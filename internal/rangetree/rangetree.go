@@ -1,0 +1,146 @@
+// Package rangetree implements a static 2-D range tree (a merge-sort
+// tree): a balanced hierarchy over the x-sorted points in which every
+// node stores the y-coordinates of its subtree in sorted order.
+//
+// It answers orthogonal range counting in O(log^2 n) time but costs
+// O(n log n) space — the paper reports that this structure ran out of
+// memory on its largest datasets (Section V, footnote 4) and uses that
+// observation to motivate the O(n)-space BBST. The repository keeps it
+// as the memory-experiment comparator and as a counting oracle in
+// tests.
+package rangetree
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Tree is an immutable 2-D range counting structure. The implicit
+// node at depth k covering x-rank range [lo, hi) stores its subtree's
+// y values, sorted, at levels[k][lo:hi]; children split at the
+// midpoint, so the whole hierarchy needs no pointers.
+type Tree struct {
+	xs     []float64   // x-coordinates, ascending
+	levels [][]float64 // levels[k][lo:hi] = sorted y values of node (k, lo, hi)
+}
+
+// New builds the tree over a copy of pts in O(n log n) time and space,
+// merging bottom-up like merge sort.
+func New(pts []geom.Point) *Tree {
+	n := len(pts)
+	t := &Tree{}
+	if n == 0 {
+		return t
+	}
+	sorted := append([]geom.Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
+	t.xs = make([]float64, n)
+	leaf := make([]float64, n)
+	for i, p := range sorted {
+		t.xs[i] = p.X
+		leaf[i] = p.Y
+	}
+
+	// Segment boundaries per level, splitting [lo, hi) at its
+	// midpoint until every segment has size <= 1.
+	segs := [][][2]int{{{0, n}}}
+	for {
+		last := segs[len(segs)-1]
+		var next [][2]int
+		split := false
+		for _, s := range last {
+			if s[1]-s[0] <= 1 {
+				next = append(next, s)
+				continue
+			}
+			mid := (s[0] + s[1]) / 2
+			next = append(next, [2]int{s[0], mid}, [2]int{mid, s[1]})
+			split = true
+		}
+		if !split {
+			break
+		}
+		segs = append(segs, next)
+	}
+
+	depth := len(segs)
+	t.levels = make([][]float64, depth)
+	t.levels[depth-1] = leaf // size-<=1 segments are trivially sorted
+	for k := depth - 2; k >= 0; k-- {
+		t.levels[k] = make([]float64, n)
+		for _, s := range segs[k] {
+			if s[1]-s[0] <= 1 {
+				copy(t.levels[k][s[0]:s[1]], t.levels[k+1][s[0]:s[1]])
+				continue
+			}
+			mid := (s[0] + s[1]) / 2
+			merge(t.levels[k][s[0]:s[1]], t.levels[k+1][s[0]:mid], t.levels[k+1][mid:s[1]])
+		}
+	}
+	return t
+}
+
+// merge merges two sorted slices into dst (len(dst) == len(a)+len(b)).
+func merge(dst, a, b []float64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.xs) }
+
+// Count returns the number of points inside w in O(log^2 n) time.
+func (t *Tree) Count(w geom.Rect) int {
+	n := len(t.xs)
+	if n == 0 || w.Empty() {
+		return 0
+	}
+	xlo := sort.SearchFloat64s(t.xs, w.XMin)
+	xhi := sort.Search(n, func(i int) bool { return t.xs[i] > w.XMax })
+	if xlo >= xhi {
+		return 0
+	}
+	return t.count(0, 0, n, xlo, xhi, w.YMin, w.YMax)
+}
+
+// count accumulates the y-range count over x-rank range [xlo, xhi)
+// starting at implicit node (level, [lo, hi)).
+func (t *Tree) count(level, lo, hi, xlo, xhi int, ylo, yhi float64) int {
+	if xlo >= hi || xhi <= lo {
+		return 0
+	}
+	if xlo <= lo && hi <= xhi {
+		ys := t.levels[level][lo:hi]
+		a := sort.SearchFloat64s(ys, ylo)
+		b := sort.Search(len(ys), func(i int) bool { return ys[i] > yhi })
+		return b - a
+	}
+	// Partially covered nodes always have size > 1 (a size-1 node is
+	// either disjoint or fully covered), so children exist.
+	mid := (lo + hi) / 2
+	return t.count(level+1, lo, mid, xlo, xhi, ylo, yhi) +
+		t.count(level+1, mid, hi, xlo, xhi, ylo, yhi)
+}
+
+// SizeBytes reports the O(n log n) footprint; the memory experiment
+// uses it to reproduce the paper's out-of-memory observation for this
+// structure.
+func (t *Tree) SizeBytes() int {
+	total := len(t.xs) * 8
+	for _, lvl := range t.levels {
+		total += len(lvl) * 8
+	}
+	return total
+}

@@ -1,0 +1,128 @@
+package rangetree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func randomPoints(r *rng.RNG, n int, extent float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, extent), Y: r.Range(0, extent), ID: int32(i)}
+	}
+	return pts
+}
+
+func bruteCount(pts []geom.Point, w geom.Rect) int {
+	c := 0
+	for _, p := range pts {
+		if w.Contains(p) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Fatal("Len should be 0")
+	}
+	if got := tr.Count(geom.Rect{XMin: 0, YMin: 0, XMax: 1, YMax: 1}); got != 0 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tr := New([]geom.Point{{X: 5, Y: 7}})
+	if got := tr.Count(geom.Rect{XMin: 4, YMin: 6, XMax: 6, YMax: 8}); got != 1 {
+		t.Fatalf("hit Count = %d, want 1", got)
+	}
+	if got := tr.Count(geom.Rect{XMin: 5.1, YMin: 6, XMax: 6, YMax: 8}); got != 0 {
+		t.Fatalf("miss Count = %d, want 0", got)
+	}
+	// Boundary inclusion.
+	if got := tr.Count(geom.Rect{XMin: 5, YMin: 7, XMax: 5, YMax: 7}); got != 1 {
+		t.Fatalf("degenerate Count = %d, want 1", got)
+	}
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 3, 10, 63, 64, 65, 500, 4096} {
+		pts := randomPoints(r, n, 50)
+		tr := New(pts)
+		for trial := 0; trial < 100; trial++ {
+			w := geom.Window(geom.Point{X: r.Range(-5, 55), Y: r.Range(-5, 55)}, r.Range(0.1, 20))
+			if got, want := tr.Count(w), bruteCount(pts, w); got != want {
+				t.Fatalf("n=%d Count(%v) = %d, want %d", n, w, got, want)
+			}
+		}
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	r := rng.New(2)
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i % 4), Y: float64(i % 7), ID: int32(i)}
+	}
+	tr := New(pts)
+	for trial := 0; trial < 300; trial++ {
+		w := geom.Window(geom.Point{X: r.Range(-1, 5), Y: r.Range(-1, 8)}, r.Range(0.1, 4))
+		if got, want := tr.Count(w), bruteCount(pts, w); got != want {
+			t.Fatalf("Count = %d, want %d (w=%v)", got, want, w)
+		}
+	}
+}
+
+func TestQuickCount(t *testing.T) {
+	f := func(seed uint64, qx, qy, l float64) bool {
+		rr := rng.New(seed)
+		n := 1 + rr.Intn(300)
+		pts := randomPoints(rr, n, 30)
+		tr := New(pts)
+		q := geom.Point{X: math.Abs(math.Mod(qx, 30)), Y: math.Abs(math.Mod(qy, 30))}
+		w := geom.Window(q, math.Abs(math.Mod(l, 10))+0.01)
+		return tr.Count(w) == bruteCount(pts, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeBytesSuperlinear(t *testing.T) {
+	r := rng.New(3)
+	n1, n2 := 1000, 16000
+	t1 := New(randomPoints(r, n1, 100))
+	t2 := New(randomPoints(r, n2, 100))
+	// O(n log n): per-point cost must grow with n.
+	perPoint1 := float64(t1.SizeBytes()) / float64(n1)
+	perPoint2 := float64(t2.SizeBytes()) / float64(n2)
+	if perPoint2 <= perPoint1 {
+		t.Fatalf("range tree per-point size should grow: %g vs %g", perPoint1, perPoint2)
+	}
+}
+
+func BenchmarkCount64k(b *testing.B) {
+	r := rng.New(4)
+	tr := New(randomPoints(r, 1<<16, 10000))
+	w := geom.Window(geom.Point{X: 5000, Y: 5000}, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Count(w)
+	}
+}
+
+func BenchmarkBuild64k(b *testing.B) {
+	r := rng.New(5)
+	pts := randomPoints(r, 1<<16, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = New(pts)
+	}
+}
