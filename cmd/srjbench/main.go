@@ -1,5 +1,8 @@
 // Command srjbench reproduces the paper's evaluation: every table and
-// figure of Section V, at a configurable scale.
+// figure of Section V, at a configurable scale. It also has a serving
+// throughput mode (-serve) that builds an Engine once and hammers it
+// with concurrent clients, reporting aggregate samples/sec against a
+// rebuild-per-request baseline.
 //
 // Usage:
 //
@@ -8,6 +11,7 @@
 //	srjbench -base 100000         # larger datasets (castreet=base .. nyc=8*base)
 //	srjbench -t 1000000 -l 50     # override samples and window size
 //	srjbench -list
+//	srjbench -serve -base 100000 -clients 8 -requests 100 -reqt 10000
 package main
 
 import (
@@ -15,10 +19,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	srj "repro"
 	"repro/internal/exp"
 )
 
@@ -40,9 +47,29 @@ func run(args []string, stdout io.Writer) error {
 		expList = fs.String("exp", "", "comma-separated experiments to run (default: all)")
 		format  = fs.String("format", "table", "output format: table or csv")
 		list    = fs.Bool("list", false, "list experiment names and exit")
+
+		serve    = fs.Bool("serve", false, "serving throughput mode: hammer an Engine with concurrent clients")
+		dataset  = fs.String("dataset", "nyc", "serve mode: dataset for R and S (each of size -base)")
+		algo     = fs.String("algo", "bbst", "serve mode: sampling algorithm")
+		clients  = fs.Int("clients", runtime.NumCPU(), "serve mode: concurrent client goroutines")
+		requests = fs.Int("requests", 100, "serve mode: requests per client")
+		reqT     = fs.Int("reqt", 10000, "serve mode: samples per request")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *serve {
+		return runServe(stdout, serveConfig{
+			dataset:  *dataset,
+			n:        *base,
+			l:        *l,
+			seed:     *seed,
+			algo:     srj.Algorithm(*algo),
+			clients:  *clients,
+			requests: *requests,
+			reqT:     *reqT,
+		})
 	}
 
 	scale := exp.DefaultScale(*base)
@@ -89,6 +116,119 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("unknown format %q (table or csv)", *format)
 		}
 	}
+	return nil
+}
+
+// serveConfig parameterizes the serving throughput mode.
+type serveConfig struct {
+	dataset  string
+	n        int
+	l        float64
+	seed     uint64
+	algo     srj.Algorithm
+	clients  int
+	requests int
+	reqT     int
+}
+
+// runServe builds an Engine once and hammers it with clients×requests
+// concurrent sampling requests of reqT samples each, then reports the
+// aggregate throughput next to a rebuild-per-request baseline (what a
+// service calling the one-shot srj.Sample per query would pay).
+func runServe(stdout io.Writer, cfg serveConfig) error {
+	if cfg.clients < 1 || cfg.requests < 1 || cfg.reqT < 1 {
+		return fmt.Errorf("serve mode needs positive -clients, -requests, -reqt")
+	}
+	R, err := srj.Generate(cfg.dataset, cfg.n, cfg.seed)
+	if err != nil {
+		return err
+	}
+	S, err := srj.Generate(cfg.dataset, cfg.n, cfg.seed+1)
+	if err != nil {
+		return err
+	}
+	opts := &srj.Options{Algorithm: cfg.algo, Seed: cfg.seed}
+
+	fmt.Fprintf(stdout, "serve: algorithm=%s dataset=%s n=m=%d l=%g\n",
+		cfg.algo, cfg.dataset, cfg.n, cfg.l)
+
+	buildStart := time.Now()
+	eng, err := srj.NewEngine(R, S, cfg.l, opts)
+	if err != nil {
+		return err
+	}
+	if err := eng.Warm(cfg.clients); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "engine built once in %v (%.1f MiB of shared structures)\n",
+		time.Since(buildStart).Round(time.Millisecond),
+		float64(eng.SizeBytes())/(1<<20))
+
+	fmt.Fprintf(stdout, "%d clients x %d requests x %d samples/request\n",
+		cfg.clients, cfg.requests, cfg.reqT)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.clients)
+	start := time.Now()
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]srj.Pair, cfg.reqT)
+			for req := 0; req < cfg.requests; req++ {
+				if _, err := eng.SampleInto(buf); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	st := eng.Stats()
+	engineRate := float64(st.Samples) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "served %d requests (%d samples) in %v\n",
+		st.Requests, st.Samples, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "throughput: %.3g samples/sec, %.1f requests/sec\n",
+		engineRate, float64(st.Requests)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "latency: avg %v, max %v\n",
+		st.AvgLatency().Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))
+
+	// Rebuild-per-request baseline at the same concurrency: every
+	// request pays the full build-count-sample pipeline, as a service
+	// calling the one-shot srj.Sample per query would. Two requests
+	// per client keep the baseline affordable while damping variance.
+	const baselineRequests = 2
+	rebuildStart := time.Now()
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for req := 0; req < baselineRequests; req++ {
+				if _, err := srj.Sample(R, S, cfg.l, cfg.reqT, opts); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	rebuild := time.Since(rebuildStart)
+	nBaseline := cfg.clients * baselineRequests
+	rebuildRate := float64(nBaseline*cfg.reqT) / rebuild.Seconds()
+	fmt.Fprintf(stdout, "rebuild-per-request baseline (%d clients x %d requests): %v per request => %.3g samples/sec (engine is %.1fx faster)\n",
+		cfg.clients, baselineRequests,
+		(rebuild / time.Duration(baselineRequests)).Round(time.Millisecond),
+		rebuildRate, engineRate/rebuildRate)
 	return nil
 }
 

@@ -39,6 +39,38 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestServeMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-serve", "-base", "2000", "-clients", "4",
+		"-requests", "5", "-reqt", "200"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"engine built once",
+		"4 clients x 5 requests x 200 samples/request",
+		"samples/sec",
+		"rebuild-per-request baseline",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("serve output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestServeModeErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-serve", "-clients", "0"}, &out); err == nil {
+		t.Error("zero clients should fail")
+	}
+	if err := run([]string{"-serve", "-dataset", "nope", "-base", "100"}, &out); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-serve", "-algo", "nope", "-base", "100"}, &out); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-nope"}, &out); err == nil {

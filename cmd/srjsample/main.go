@@ -60,11 +60,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("loading S: %w", err)
 	}
-	if i, err := srj.ValidatePoints(R); err != nil {
-		return fmt.Errorf("R point %d: %w", i, err)
+	if _, err := srj.ValidatePoints(R); err != nil {
+		return fmt.Errorf("invalid R: %w", err)
 	}
-	if i, err := srj.ValidatePoints(S); err != nil {
-		return fmt.Errorf("S point %d: %w", i, err)
+	if _, err := srj.ValidatePoints(S); err != nil {
+		return fmt.Errorf("invalid S: %w", err)
 	}
 	opts := &srj.Options{
 		Algorithm:           srj.Algorithm(*algo),

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// reseeder is the hook ClonePool uses to hand a checked-out clone a
+// fresh random stream. Every sampler embeds *base, so every clone
+// implements it.
+type reseeder interface {
+	reseed(seed uint64)
+}
+
+// reseed reinitializes the sampler's random stream in place. ClonePool
+// calls it on every checkout so that the samples a request draws
+// depend only on the pool's seed and the checkout order — never on
+// which recycled clone happens to serve the request.
+func (b *base) reseed(seed uint64) { b.rng.Reseed(seed) }
+
+// ClonePool is a concurrency-safe pool of sampler clones over one
+// prepared parent. The parent's structures (grid, corner indexes,
+// spatial trees, alias tables) are built exactly once — in
+// NewClonePool — and every clone shares them read-only; each clone
+// only owns scratch buffers, statistics, and a random stream. Get and
+// Put may be called from any number of goroutines.
+//
+// On every checkout the clone's stream is reseeded from the pool's
+// seed sequence, so request streams stay uniform and independent of
+// each other, and a single-goroutine request sequence is reproducible
+// across runs of a pool with the same seed.
+type ClonePool struct {
+	parent Cloner
+
+	mu  sync.Mutex // guards seq and parent.Clone (both advance RNG state)
+	seq *rng.RNG   // per-checkout seed sequence
+
+	pool sync.Pool // idle Sampler clones
+}
+
+// NewClonePool prepares parent through Count (building every shared
+// structure) and returns a pool serving clones of it. Construction
+// surfaces data-dependent errors immediately — most notably
+// ErrEmptyJoin when the join is provably empty — rather than on the
+// first request. Sampling without replacement is not poolable (the
+// duplicate filter would need cross-clone coordination) and is
+// rejected here, as ErrNoParallelWithoutReplacement.
+func NewClonePool(parent Cloner, seed uint64) (*ClonePool, error) {
+	first, err := parent.Clone()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := first.(reseeder); !ok {
+		return nil, fmt.Errorf("core: %s clones do not support reseeding", parent.Name())
+	}
+	p := &ClonePool{parent: parent, seq: rng.New(seed)}
+	p.pool.Put(first)
+	return p, nil
+}
+
+// Get checks a clone out of the pool — creating one when no idle clone
+// is available — and gives it a fresh independent random stream.
+// Exactly one seed is consumed from the pool's sequence per call,
+// whether or not a clone had to be created.
+func (p *ClonePool) Get() (Sampler, error) {
+	var s Sampler
+	if v := p.pool.Get(); v != nil {
+		s = v.(Sampler)
+	}
+	p.mu.Lock()
+	var err error
+	if s == nil {
+		s, err = p.parent.Clone()
+	}
+	seed := p.seq.Uint64()
+	p.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.(reseeder).reseed(seed)
+	return s, nil
+}
+
+// Put returns a clone obtained from Get to the pool for reuse. The
+// caller must not use s afterwards.
+func (p *ClonePool) Put(s Sampler) {
+	if s == nil {
+		return
+	}
+	p.pool.Put(s)
+}
+
+// Warm pre-populates the pool with n idle clones so that the first n
+// concurrent checkouts pay no construction cost.
+func (p *ClonePool) Warm(n int) error {
+	for i := 0; i < n; i++ {
+		p.mu.Lock()
+		c, err := p.parent.Clone()
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		p.pool.Put(c)
+	}
+	return nil
+}
+
+// Parent exposes the prepared parent sampler (for Name, SizeBytes, and
+// structure-level Stats). Callers must not sample from it while the
+// pool is serving.
+func (p *ClonePool) Parent() Cloner { return p.parent }

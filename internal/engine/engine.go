@@ -1,0 +1,192 @@
+// Package engine turns the one-shot join samplers of internal/core
+// into a concurrent query-serving subsystem. The paper's BBST draws t
+// samples in Õ(n + m + t) *after* a single preprocessing pass; a
+// serving system only realizes that bound if the preprocessing is
+// amortized across requests. An Engine therefore builds the sampler's
+// structures exactly once and serves every subsequent request from a
+// pool of lightweight clones: each request checks a clone out, gives
+// it a fresh independent random stream, draws through the
+// zero-allocation SampleInto hot path, and returns the clone for
+// reuse. Aggregate request counters (requests, samples, failures,
+// cumulative and peak latency) are maintained lock-free.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// DefaultBatch is the pooled buffer size SampleFunc streams through:
+// large enough to amortize per-batch overhead, small enough (~200 KiB
+// of pairs) to stay cache-resident.
+const DefaultBatch = 4096
+
+// Stats aggregates the request-level counters of an Engine. All
+// durations cover the full request — clone checkout, sampling, and
+// return to the pool.
+type Stats struct {
+	Requests     uint64        // completed requests, including failed ones
+	Samples      uint64        // join samples drawn across all requests
+	Failures     uint64        // requests that returned an error
+	TotalLatency time.Duration // summed request latency
+	MaxLatency   time.Duration // slowest single request
+}
+
+// AvgLatency returns the mean request latency.
+func (s Stats) AvgLatency() time.Duration {
+	if s.Requests == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Requests)
+}
+
+// Engine serves concurrent sampling requests against join structures
+// that were built exactly once. All methods are safe for concurrent
+// use by any number of goroutines.
+type Engine struct {
+	pool *core.ClonePool
+	name string
+	size int
+
+	buffers sync.Pool // *[]geom.Pair batches for SampleFunc
+
+	requests  atomic.Uint64
+	samples   atomic.Uint64
+	failures  atomic.Uint64
+	latencyNS atomic.Int64
+	maxNS     atomic.Int64
+}
+
+// New prepares parent through Count — the only time the grid, corner
+// indexes, and alias tables are built — and returns an Engine serving
+// requests against those shared structures. seed drives the
+// per-checkout stream reseeds: engines created with equal seeds serve
+// identical per-request samples to a sequential client. Construction
+// fails fast with core.ErrEmptyJoin on a provably empty join and with
+// core.ErrNoParallelWithoutReplacement when the parent samples
+// without replacement.
+func New(parent core.Cloner, seed uint64) (*Engine, error) {
+	pool, err := core.NewClonePool(parent, seed)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{pool: pool, name: parent.Name(), size: parent.SizeBytes()}
+	e.buffers.New = func() any {
+		buf := make([]geom.Pair, DefaultBatch)
+		return &buf
+	}
+	return e, nil
+}
+
+// Name identifies the underlying algorithm.
+func (e *Engine) Name() string { return e.name }
+
+// SizeBytes estimates the retained footprint of the shared structures
+// (excluding per-clone scratch, which is negligible).
+func (e *Engine) SizeBytes() int { return e.size }
+
+// Warm pre-creates n idle clones, typically one per expected
+// concurrent client, so no request pays clone-construction cost.
+func (e *Engine) Warm(n int) error { return e.pool.Warm(n) }
+
+// SampleInto serves one request: it draws len(dst) uniform independent
+// join samples into the caller's buffer and returns the number
+// written. This is the zero-allocation hot path — steady state, the
+// only allocation-free way to drain samples from a shared Engine.
+func (e *Engine) SampleInto(dst []geom.Pair) (int, error) {
+	start := time.Now()
+	s, err := e.pool.Get()
+	if err != nil {
+		e.record(start, 0, err)
+		return 0, err
+	}
+	n, err := core.SampleInto(s, dst)
+	e.pool.Put(s)
+	e.record(start, n, err)
+	return n, err
+}
+
+// Sample serves one request for t samples into a fresh slice.
+func (e *Engine) Sample(t int) ([]geom.Pair, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("engine: negative sample count %d", t)
+	}
+	dst := make([]geom.Pair, t)
+	n, err := e.SampleInto(dst)
+	return dst[:n], err
+}
+
+// SampleFunc serves one request for t samples by streaming them
+// through a pooled batch buffer: fn is invoked with successive batches
+// (DefaultBatch pairs, the final one shorter) whose backing array is
+// reused across batches and requests — fn must not retain it. An
+// error from fn aborts the request and is returned verbatim.
+func (e *Engine) SampleFunc(t int, fn func(batch []geom.Pair) error) error {
+	if t < 0 {
+		return fmt.Errorf("engine: negative sample count %d", t)
+	}
+	if t == 0 {
+		return nil
+	}
+	start := time.Now()
+	s, err := e.pool.Get()
+	if err != nil {
+		e.record(start, 0, err)
+		return err
+	}
+	buf := e.buffers.Get().(*[]geom.Pair)
+	drawn := 0
+	for drawn < t && err == nil {
+		batch := *buf
+		if rem := t - drawn; rem < len(batch) {
+			batch = batch[:rem]
+		}
+		var n int
+		n, err = core.SampleInto(s, batch)
+		drawn += n
+		if n > 0 {
+			if ferr := fn(batch[:n]); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
+	}
+	e.buffers.Put(buf)
+	e.pool.Put(s)
+	e.record(start, drawn, err)
+	return err
+}
+
+// record folds one finished request into the aggregate counters.
+func (e *Engine) record(start time.Time, samples int, err error) {
+	lat := time.Since(start)
+	e.requests.Add(1)
+	e.samples.Add(uint64(samples))
+	if err != nil {
+		e.failures.Add(1)
+	}
+	e.latencyNS.Add(int64(lat))
+	for {
+		cur := e.maxNS.Load()
+		if int64(lat) <= cur || e.maxNS.CompareAndSwap(cur, int64(lat)) {
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the aggregate request counters. Under
+// concurrent traffic the fields are individually, not jointly,
+// consistent.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:     e.requests.Load(),
+		Samples:      e.samples.Load(),
+		Failures:     e.failures.Load(),
+		TotalLatency: time.Duration(e.latencyNS.Load()),
+		MaxLatency:   time.Duration(e.maxNS.Load()),
+	}
+}

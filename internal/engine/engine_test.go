@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func testPoints(r *rng.RNG, n int, extent float64, base int32) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			ID: base + int32(i),
+			X:  r.Range(0, extent),
+			Y:  r.Range(0, extent),
+		}
+	}
+	return pts
+}
+
+func newTestEngine(t *testing.T, seed uint64) (*Engine, float64) {
+	t.Helper()
+	r := rng.New(3)
+	R := testPoints(r, 400, 50, 0)
+	S := testPoints(r, 400, 50, 10000)
+	const l = 5.0
+	s, err := core.NewBBST(R, S, core.Config{HalfExtent: l, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, l
+}
+
+func TestEngineServesValidSamples(t *testing.T) {
+	e, l := newTestEngine(t, 1)
+	pairs, err := e.Sample(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2000 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		if !geom.InWindow(p.R, p.S, l) {
+			t.Fatalf("invalid pair %v", p)
+		}
+	}
+}
+
+// TestEngineConcurrentStress: many goroutines share one Engine (run
+// with -race; the shared structures must stay read-only). Also checks
+// the aggregate counters add up.
+func TestEngineConcurrentStress(t *testing.T) {
+	e, l := newTestEngine(t, 2)
+	if err := e.Warm(8); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	const requests = 30
+	const perRequest = 200
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]geom.Pair, perRequest)
+			for req := 0; req < requests; req++ {
+				n, err := e.SampleInto(buf)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				for _, p := range buf[:n] {
+					if !geom.InWindow(p.R, p.S, l) {
+						errs[i] = errors.New("pair outside window")
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Requests != goroutines*requests {
+		t.Errorf("Requests = %d, want %d", st.Requests, goroutines*requests)
+	}
+	if st.Samples != goroutines*requests*perRequest {
+		t.Errorf("Samples = %d, want %d", st.Samples, goroutines*requests*perRequest)
+	}
+	if st.Failures != 0 {
+		t.Errorf("Failures = %d", st.Failures)
+	}
+	if st.TotalLatency <= 0 || st.MaxLatency <= 0 || st.AvgLatency() > st.MaxLatency {
+		t.Errorf("implausible latencies: %+v", st)
+	}
+}
+
+// TestEngineDeterminism: engines with equal seeds serve identical
+// per-request samples to a sequential client.
+func TestEngineDeterminism(t *testing.T) {
+	e1, _ := newTestEngine(t, 99)
+	e2, _ := newTestEngine(t, 99)
+	for req := 0; req < 8; req++ {
+		a, err := e1.Sample(300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e2.Sample(300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("request %d diverged at sample %d", req, i)
+			}
+		}
+	}
+	// Different seeds must serve different streams.
+	e3, _ := newTestEngine(t, 100)
+	a, err := e1.Sample(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e3.Sample(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Fatalf("distinct seeds repeated %d/%d samples", same, len(a))
+	}
+}
+
+func TestEngineSampleFunc(t *testing.T) {
+	e, l := newTestEngine(t, 4)
+	const want = DefaultBatch*2 + 137
+	got := 0
+	batches := 0
+	err := e.SampleFunc(want, func(batch []geom.Pair) error {
+		if len(batch) == 0 || len(batch) > DefaultBatch {
+			t.Fatalf("bad batch size %d", len(batch))
+		}
+		for _, p := range batch {
+			if !geom.InWindow(p.R, p.S, l) {
+				t.Fatalf("invalid pair %v", p)
+			}
+		}
+		got += len(batch)
+		batches++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streamed %d samples, want %d", got, want)
+	}
+	if batches != 3 {
+		t.Fatalf("got %d batches, want 3", batches)
+	}
+	// fn errors abort the request and count as a failure.
+	boom := errors.New("boom")
+	if err := e.SampleFunc(want, func([]geom.Pair) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := e.Stats(); st.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestEngineEdgeCases(t *testing.T) {
+	e, _ := newTestEngine(t, 5)
+	if _, err := e.Sample(-1); err == nil {
+		t.Error("negative t should fail")
+	}
+	if err := e.SampleFunc(-1, func([]geom.Pair) error { return nil }); err == nil {
+		t.Error("negative t should fail")
+	}
+	if err := e.SampleFunc(0, func([]geom.Pair) error { t.Error("fn called for t=0"); return nil }); err != nil {
+		t.Error(err)
+	}
+	out, err := e.Sample(0)
+	if err != nil || len(out) != 0 {
+		t.Errorf("t=0: %d pairs, %v", len(out), err)
+	}
+	if e.Name() != "BBST" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes = %d", e.SizeBytes())
+	}
+}
+
+// TestEngineEmptyJoin: a provably empty join fails at construction,
+// not on the first request.
+func TestEngineEmptyJoin(t *testing.T) {
+	R := []geom.Point{{ID: 0, X: 0, Y: 0}}
+	S := []geom.Point{{ID: 0, X: 1000, Y: 1000}}
+	s, err := core.NewBBST(R, S, core.Config{HalfExtent: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(s, 1); !errors.Is(err, core.ErrEmptyJoin) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -30,12 +30,19 @@ type RNG struct {
 // New returns a generator seeded from seed. Two generators created
 // with distinct seeds produce (statistically) independent streams.
 func New(seed uint64) *RNG {
-	s := seed
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes the generator in place so that it produces the
+// same stream as New(seed), without allocating. Pooled samplers use it
+// to hand a recycled generator a fresh independent stream per checkout.
+func (r *RNG) Reseed(seed uint64) {
+	s := seed
 	r.state = splitMix64(&s)
 	r.inc = splitMix64(&s) | 1 // stream increment must be odd
 	r.next()
-	return r
 }
 
 // Split derives a new generator whose stream is independent of the

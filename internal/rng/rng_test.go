@@ -15,6 +15,23 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestReseedMatchesNew: a reseeded generator must continue exactly as
+// a freshly constructed one — the clone pool relies on this to hand
+// recycled samplers fresh streams without allocating.
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		r.Uint64() // advance to an arbitrary interior state
+	}
+	r.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 1000; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatalf("reseeded stream diverged at step %d", i)
+		}
+	}
+}
+
 func TestSeedsDiffer(t *testing.T) {
 	a := New(1)
 	b := New(2)

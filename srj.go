@@ -24,14 +24,32 @@
 //	    pair, err := sampler.Next()
 //	    ...
 //	}
+//
+// # Serving
+//
+// A Sampler rebuilds its indexes per query, which wastes the paper's
+// amortization when many requests target the same R, S, and l. An
+// Engine builds the structures once and serves any number of
+// concurrent requests against them, each from a pooled sampler clone
+// with an independent random stream:
+//
+//	eng, err := srj.NewEngine(R, S, 100, nil)
+//	if err != nil { ... }
+//	// any number of goroutines:
+//	pairs, err := eng.Sample(10_000)
+//	// or, allocation-free:
+//	n, err := eng.SampleInto(buf)
+//	fmt.Println(eng.Stats()) // requests, samples/sec inputs, latency
 package srj
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/aggregate"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/join"
 )
@@ -112,8 +130,16 @@ type Options struct {
 
 // NewSampler builds a join sampler for R and S with window half-extent
 // l (the window of r is [r.X-l, r.X+l] x [r.Y-l, r.Y+l]). The inputs
-// are not copied and must not be mutated while the sampler lives.
+// are validated (NaN or infinite coordinates are rejected before any
+// index is built), not copied, and must not be mutated while the
+// sampler lives.
 func NewSampler(R, S []Point, l float64, opts *Options) (Sampler, error) {
+	if _, err := ValidatePoints(R); err != nil {
+		return nil, fmt.Errorf("srj: invalid R: %w", err)
+	}
+	if _, err := ValidatePoints(S); err != nil {
+		return nil, fmt.Errorf("srj: invalid S: %w", err)
+	}
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -179,6 +205,78 @@ func SampleParallel(R, S []Point, l float64, t, workers int, opts *Options) ([]P
 	return core.ParallelSample(c, t, workers)
 }
 
+// EngineStats aggregates an Engine's request-level serving counters:
+// requests, samples, failures, and cumulative/peak request latency.
+type EngineStats = engine.Stats
+
+// Engine serves many concurrent sampling requests against join
+// structures that are built exactly once, preserving the paper's
+// amortization (BBST: Õ(n+m) preprocessing, then Õ(1) expected time
+// per sample) across requests instead of rebuilding per query as
+// Sample does. Each request draws from a pooled sampler clone with a
+// fresh independent random stream, so samples stay uniform and
+// independent across requests, and a sequential request sequence is
+// reproducible from the seed. All methods are safe for concurrent use.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine validates R and S, builds the chosen algorithm's
+// structures through the counting phase, and returns an Engine
+// serving them. It fails fast with ErrEmptyJoin when the join is
+// provably empty. Options.WithoutReplacement is not supported (the
+// duplicate filter would need cross-request coordination). The inputs
+// are not copied and must not be mutated while the Engine lives.
+func NewEngine(R, S []Point, l float64, opts *Options) (*Engine, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.WithoutReplacement {
+		return nil, fmt.Errorf("srj: Engine does not support WithoutReplacement")
+	}
+	s, err := NewSampler(R, S, l, &o)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := s.(core.Cloner)
+	if !ok {
+		return nil, fmt.Errorf("srj: algorithm %s does not support engine serving", s.Name())
+	}
+	e, err := engine.New(c, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
+}
+
+// Sample serves one request for t uniform independent join samples.
+func (e *Engine) Sample(t int) ([]Pair, error) { return e.e.Sample(t) }
+
+// SampleInto serves one request, filling the caller's buffer — the
+// zero-allocation hot path. It returns the number of samples written.
+func (e *Engine) SampleInto(dst []Pair) (int, error) { return e.e.SampleInto(dst) }
+
+// SampleFunc serves one request for t samples, streaming them to fn
+// in batches whose backing array is pooled and reused — fn must not
+// retain the batch slice after returning.
+func (e *Engine) SampleFunc(t int, fn func(batch []Pair) error) error {
+	return e.e.SampleFunc(t, fn)
+}
+
+// Warm pre-creates n pooled sampler clones (typically one per
+// expected concurrent client) so no request pays construction cost.
+func (e *Engine) Warm(n int) error { return e.e.Warm(n) }
+
+// Stats snapshots the aggregate request counters.
+func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+
+// Algorithm reports the underlying algorithm's name.
+func (e *Engine) Algorithm() string { return e.e.Name() }
+
+// SizeBytes estimates the retained footprint of the shared structures.
+func (e *Engine) SizeBytes() int { return e.e.SizeBytes() }
+
 // JoinSize returns |J| exactly (plane sweep; O((n+m) log(n+m) + |J|)
 // time but O(1) extra space). Useful for calibrating t.
 func JoinSize(R, S []Point, l float64) uint64 {
@@ -237,14 +335,17 @@ func EstimateJoinSize(s Sampler) float64 {
 
 // ValidatePoints rejects coordinates the index structures cannot
 // handle (NaN or infinite); the samplers assume finite coordinates.
-// It returns the index of the first offending point, or -1 and nil.
+// Every finite float64 — up to ±math.MaxFloat64 — is accepted. It
+// returns the index of the first offending point, or -1 and nil.
+// NewSampler and NewEngine call it on both inputs, so manual
+// validation is only needed to locate the offending point.
 func ValidatePoints(pts []Point) (int, error) {
 	for i, p := range pts {
-		if p.X != p.X || p.Y != p.Y {
-			return i, fmt.Errorf("srj: point %d has NaN coordinates", i)
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			return i, fmt.Errorf("point %d (ID %d) has NaN coordinates", i, p.ID)
 		}
-		if p.X < -1e308 || p.X > 1e308 || p.Y < -1e308 || p.Y > 1e308 {
-			return i, fmt.Errorf("srj: point %d has non-finite coordinates", i)
+		if math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return i, fmt.Errorf("point %d (ID %d) has infinite coordinates", i, p.ID)
 		}
 	}
 	return -1, nil

@@ -192,6 +192,57 @@ func TestValidatePoints(t *testing.T) {
 	}
 }
 
+// TestValidatePointsExtremes is the regression test for the old
+// `x < -1e308 || x > 1e308` guard, which falsely rejected legal
+// finite coordinates in (1e308, math.MaxFloat64].
+func TestValidatePointsExtremes(t *testing.T) {
+	finite := []Point{
+		{ID: 1, X: math.MaxFloat64, Y: -math.MaxFloat64},
+		{ID: 2, X: 1.5e308, Y: -1.5e308},
+	}
+	if i, err := ValidatePoints(finite); err != nil || i != -1 {
+		t.Fatalf("finite extremes rejected: %d, %v", i, err)
+	}
+	for name, bad := range map[string][]Point{
+		"+Inf X": {{X: math.Inf(1)}},
+		"-Inf Y": {{Y: math.Inf(-1)}},
+		"NaN X":  {{X: math.NaN()}},
+		"NaN Y":  {{Y: math.NaN()}},
+	} {
+		if i, err := ValidatePoints(bad); err == nil || i != 0 {
+			t.Errorf("%s not caught: %d, %v", name, i, err)
+		}
+	}
+}
+
+// TestNewSamplerRejectsInvalidPoints: construction must validate both
+// inputs before building any index, for every algorithm.
+func TestNewSamplerRejectsInvalidPoints(t *testing.T) {
+	good := MustGenerate("uniform", 50, 1)
+	badR := append([]Point(nil), good...)
+	badR[13].X = math.NaN()
+	badS := append([]Point(nil), good...)
+	badS[5].Y = math.Inf(-1)
+	for _, algo := range Algorithms() {
+		opts := &Options{Algorithm: algo}
+		if _, err := NewSampler(badR, good, 10, opts); err == nil {
+			t.Errorf("%s: NaN in R accepted", algo)
+		}
+		if _, err := NewSampler(good, badS, 10, opts); err == nil {
+			t.Errorf("%s: Inf in S accepted", algo)
+		}
+		if _, err := NewSampler(good, good, 10, opts); err != nil {
+			t.Errorf("%s: valid input rejected: %v", algo, err)
+		}
+	}
+	if _, err := NewEngine(badR, good, 10, nil); err == nil {
+		t.Error("NewEngine: NaN in R accepted")
+	}
+	if _, err := NewEngine(good, badS, 10, nil); err == nil {
+		t.Error("NewEngine: Inf in S accepted")
+	}
+}
+
 func TestSampleParallel(t *testing.T) {
 	R := MustGenerate("nyc", 5000, 21)
 	S := MustGenerate("nyc", 5000, 22)
