@@ -2,7 +2,9 @@
 // figure of Section V, at a configurable scale. It also has a serving
 // throughput mode (-serve) that builds an Engine once and hammers it
 // with concurrent clients, reporting aggregate samples/sec against a
-// rebuild-per-request baseline.
+// rebuild-per-request baseline; with -remote the same measurement
+// runs over the wire against a live srjserver, comparing its cached-
+// engine path (registry hits) to rebuild-per-request (distinct keys).
 //
 // Usage:
 //
@@ -12,17 +14,21 @@
 //	srjbench -t 1000000 -l 50     # override samples and window size
 //	srjbench -list
 //	srjbench -serve -base 100000 -clients 8 -requests 100 -reqt 10000
+//	srjbench -serve -remote http://localhost:8080 -dataset nyc -reqt 10000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	srj "repro"
@@ -49,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		list    = fs.Bool("list", false, "list experiment names and exit")
 
 		serve    = fs.Bool("serve", false, "serving throughput mode: hammer an Engine with concurrent clients")
+		remote   = fs.String("remote", "", "serve mode: benchmark a running srjserver at this base URL instead of an in-process Engine")
 		dataset  = fs.String("dataset", "nyc", "serve mode: dataset for R and S (each of size -base)")
 		algo     = fs.String("algo", "bbst", "serve mode: sampling algorithm")
 		clients  = fs.Int("clients", runtime.NumCPU(), "serve mode: concurrent client goroutines")
@@ -60,7 +67,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *serve {
-		return runServe(stdout, serveConfig{
+		cfg := serveConfig{
 			dataset:  *dataset,
 			n:        *base,
 			l:        *l,
@@ -69,7 +76,19 @@ func run(args []string, stdout io.Writer) error {
 			clients:  *clients,
 			requests: *requests,
 			reqT:     *reqT,
-		})
+		}
+		if *remote != "" {
+			// The dataset lives server-side in remote mode, so a
+			// locally-set -base would silently mean nothing; refuse
+			// rather than let a benchmark measure the wrong workload.
+			baseSet := false
+			fs.Visit(func(f *flag.Flag) { baseSet = baseSet || f.Name == "base" })
+			if baseSet {
+				return fmt.Errorf("-base has no effect with -remote: the dataset size is the server's -n; restart srjserver with the size you want to measure")
+			}
+			return runServeRemote(stdout, cfg, *remote)
+		}
+		return runServe(stdout, cfg)
 	}
 
 	scale := exp.DefaultScale(*base)
@@ -131,6 +150,33 @@ type serveConfig struct {
 	reqT     int
 }
 
+// hammer fans clients goroutines out, each issuing requests calls of
+// do, and returns the first error any client hit. Both serve modes
+// use it for their measured phase and their baseline.
+func hammer(clients, requests int, do func(client, req int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				if err := do(i, r); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runServe builds an Engine once and hammers it with clients×requests
 // concurrent sampling requests of reqT samples each, then reports the
 // aggregate throughput next to a rebuild-per-request baseline (what a
@@ -166,27 +212,16 @@ func runServe(stdout io.Writer, cfg serveConfig) error {
 
 	fmt.Fprintf(stdout, "%d clients x %d requests x %d samples/request\n",
 		cfg.clients, cfg.requests, cfg.reqT)
-	var wg sync.WaitGroup
-	errs := make([]error, cfg.clients)
-	start := time.Now()
-	for i := 0; i < cfg.clients; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			buf := make([]srj.Pair, cfg.reqT)
-			for req := 0; req < cfg.requests; req++ {
-				if _, err := eng.SampleInto(buf); err != nil {
-					errs[i] = err
-					return
-				}
-			}
-		}(i)
+	bufs := make([][]srj.Pair, cfg.clients) // one reused buffer per client
+	for i := range bufs {
+		bufs[i] = make([]srj.Pair, cfg.reqT)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	start := time.Now()
+	if err := hammer(cfg.clients, cfg.requests, func(client, _ int) error {
+		_, err := eng.SampleInto(bufs[client])
+		return err
+	}); err != nil {
+		return err
 	}
 	elapsed := time.Since(start)
 	st := eng.Stats()
@@ -204,23 +239,11 @@ func runServe(stdout io.Writer, cfg serveConfig) error {
 	// per client keep the baseline affordable while damping variance.
 	const baselineRequests = 2
 	rebuildStart := time.Now()
-	for i := 0; i < cfg.clients; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			for req := 0; req < baselineRequests; req++ {
-				if _, err := srj.Sample(R, S, cfg.l, cfg.reqT, opts); err != nil {
-					errs[i] = err
-					return
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := hammer(cfg.clients, baselineRequests, func(_, _ int) error {
+		_, err := srj.Sample(R, S, cfg.l, cfg.reqT, opts)
+		return err
+	}); err != nil {
+		return err
 	}
 	rebuild := time.Since(rebuildStart)
 	nBaseline := cfg.clients * baselineRequests
@@ -229,6 +252,137 @@ func runServe(stdout io.Writer, cfg serveConfig) error {
 		cfg.clients, baselineRequests,
 		(rebuild / time.Duration(baselineRequests)).Round(time.Millisecond),
 		rebuildRate, engineRate/rebuildRate)
+	return nil
+}
+
+// runServeRemote benchmarks a running srjserver over the wire. The
+// cached-engine path hammers one (dataset, l, algorithm, seed) key —
+// after the first request every one is a registry hit — then a
+// rebuild-per-request baseline gives every request a distinct seed,
+// forcing a registry miss and a full preprocessing pass per request.
+// The ratio is the network-served version of the paper's
+// amortization argument.
+func runServeRemote(stdout io.Writer, cfg serveConfig, base string) error {
+	if cfg.clients < 1 || cfg.requests < 1 || cfg.reqT < 1 {
+		return fmt.Errorf("serve mode needs positive -clients, -requests, -reqt")
+	}
+	// Every call is bounded: a quick probe for reachability, then a
+	// generous per-request ceiling so a stalled server fails the
+	// bench instead of hanging it forever. The transport keeps one
+	// idle connection per client goroutine — http.DefaultClient's two
+	// would churn TCP connections and understate cached throughput.
+	const requestTimeout = 5 * time.Minute
+	ctx := context.Background()
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = cfg.clients
+	cl := srj.NewClientHTTP(base, &http.Client{Transport: transport})
+	healthCtx, cancelHealth := context.WithTimeout(ctx, 10*time.Second)
+	err := cl.Health(healthCtx)
+	cancelHealth()
+	if err != nil {
+		return fmt.Errorf("srjserver at %s not reachable: %w", base, err)
+	}
+	fmt.Fprintf(stdout, "remote serve: %s algorithm=%s dataset=%s (server-side data) l=%g\n",
+		base, cfg.algo, cfg.dataset, cfg.l)
+
+	req := srj.SampleRequest{
+		Dataset:   cfg.dataset,
+		L:         cfg.l,
+		Algorithm: string(cfg.algo),
+		Seed:      cfg.seed,
+		T:         cfg.reqT,
+	}
+
+	// Warm the key so the timed section measures the cached path,
+	// exactly as the local mode builds its Engine outside the timer.
+	warmStart := time.Now()
+	warm := req
+	warm.T = 1
+	warmCtx, cancelWarm := context.WithTimeout(ctx, requestTimeout)
+	_, err = cl.Sample(warmCtx, warm)
+	cancelWarm()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "engine warmed through the registry in %v\n",
+		time.Since(warmStart).Round(time.Millisecond))
+
+	fmt.Fprintf(stdout, "%d clients x %d requests x %d samples/request\n",
+		cfg.clients, cfg.requests, cfg.reqT)
+	start := time.Now()
+	if err := hammer(cfg.clients, cfg.requests, func(_, _ int) error {
+		reqCtx, cancel := context.WithTimeout(ctx, requestTimeout)
+		defer cancel()
+		return cl.SampleFunc(reqCtx, req, func([]srj.Pair) error { return nil })
+	}); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	nRequests := cfg.clients * cfg.requests
+	nSamples := nRequests * cfg.reqT
+	cachedRate := float64(nSamples) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "served %d requests (%d samples) in %v\n", nRequests, nSamples, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "cached-engine throughput: %.3g samples/sec, %.1f requests/sec\n",
+		cachedRate, float64(nRequests)/elapsed.Seconds())
+
+	// Rebuild-per-request baseline: a distinct seed per request is a
+	// distinct registry key, so the server pays a full preprocessing
+	// pass for every one. The seed base is this run's wall clock —
+	// a fixed base would collide with a previous run's keys on a
+	// long-lived server and silently measure cache hits instead of
+	// rebuilds. Two requests per client keep the baseline affordable.
+	const baselineRequests = 2
+	seedBase := uint64(time.Now().UnixNano())
+	var seedCounter atomic.Uint64
+	// The baseline's throwaway engines would otherwise crowd a
+	// long-lived server's cache; evict whatever was inserted on every
+	// exit path, failed baselines included.
+	defer func() {
+		evictCtx, cancelEvict := context.WithTimeout(ctx, time.Minute)
+		defer cancelEvict()
+		evicted := 0
+		for i := uint64(1); i <= seedCounter.Load(); i++ {
+			bkey := srj.EngineKey{Dataset: req.Dataset, L: req.L, Algorithm: req.Algorithm, Seed: seedBase + i}
+			ok, err := cl.EvictEngine(evictCtx, bkey)
+			if err != nil {
+				// Keep going: one failed eviction must not strand the
+				// remaining throwaway engines.
+				fmt.Fprintf(stdout, "warning: could not evict baseline engine %s: %v\n", bkey, err)
+				continue
+			}
+			if ok {
+				evicted++
+			}
+		}
+		fmt.Fprintf(stdout, "evicted %d baseline engines from the server cache\n", evicted)
+	}()
+	rebuildStart := time.Now()
+	if err := hammer(cfg.clients, baselineRequests, func(_, _ int) error {
+		breq := req
+		breq.Seed = seedBase + seedCounter.Add(1)
+		reqCtx, cancel := context.WithTimeout(ctx, requestTimeout)
+		defer cancel()
+		return cl.SampleFunc(reqCtx, breq, func([]srj.Pair) error { return nil })
+	}); err != nil {
+		return err
+	}
+	rebuild := time.Since(rebuildStart)
+	nBaseline := cfg.clients * baselineRequests
+	rebuildRate := float64(nBaseline*cfg.reqT) / rebuild.Seconds()
+	fmt.Fprintf(stdout, "rebuild-per-request baseline (%d clients x %d requests, distinct seeds): %v per request => %.3g samples/sec (cached engine is %.1fx faster)\n",
+		cfg.clients, baselineRequests,
+		(rebuild / time.Duration(baselineRequests)).Round(time.Millisecond),
+		rebuildRate, cachedRate/rebuildRate)
+
+	statsCtx, cancelStats := context.WithTimeout(ctx, 10*time.Second)
+	st, err := cl.Stats(statsCtx)
+	cancelStats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "server registry: %d hits, %d misses, %d builds, %d budget evictions, %d resident engines (%.1f MiB)\n",
+		st.Registry.Hits, st.Registry.Misses, st.Registry.Builds, st.Registry.Evictions,
+		st.Registry.Entries, float64(st.Registry.Bytes)/(1<<20))
 	return nil
 }
 

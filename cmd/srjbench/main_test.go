@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	srj "repro"
 )
 
 func TestList(t *testing.T) {
@@ -55,6 +58,70 @@ func TestServeMode(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("serve output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestServeModeRemote: the -remote flag benchmarks a running
+// srjserver — here an in-process srj.NewServer on an httptest
+// listener — and must show the cached-engine path beating the
+// rebuild-per-request baseline.
+func TestServeModeRemote(t *testing.T) {
+	srv, err := srj.NewServer(&srj.ServerOptions{DatasetSize: 2000, MaxT: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err = run([]string{"-serve", "-remote", ts.URL, "-dataset", "uniform",
+		"-l", "200", "-clients", "4", "-requests", "5", "-reqt", "200"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"engine warmed through the registry",
+		"4 clients x 5 requests x 200 samples/request",
+		"cached-engine throughput",
+		"rebuild-per-request baseline",
+		"evicted 8 baseline engines",
+		"server registry:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("remote serve output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Every baseline request used a fresh seed, so the server must
+	// have built one engine for the warm key plus one per baseline
+	// request — and then evicted every baseline engine, leaving only
+	// the warm key resident.
+	st := srv.RegistryStats()
+	if st.Builds != 1+4*2 {
+		t.Errorf("server builds = %d, want 9\n%s", st.Builds, out.String())
+	}
+	if st.Hits < 4*5 {
+		t.Errorf("server hits = %d, want >= 20", st.Hits)
+	}
+	if st.Entries != 1 || st.ManualEvictions != 8 || st.Evictions != 0 {
+		t.Errorf("baseline engines not cleaned up: %+v", st)
+	}
+}
+
+// TestServeModeRemoteRejectsBase: -base means nothing remotely (the
+// dataset size is the server's -n), so combining them is an error
+// rather than a silently wrong benchmark.
+func TestServeModeRemoteRejectsBase(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-serve", "-remote", "http://127.0.0.1:1", "-base", "50000"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-base has no effect") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServeModeRemoteUnreachable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-serve", "-remote", "http://127.0.0.1:1", "-requests", "1"}, &out); err == nil {
+		t.Error("unreachable server should fail")
 	}
 }
 

@@ -1,0 +1,219 @@
+// Command srjserver serves join samples over HTTP: one process pays
+// each (dataset, l, algorithm, seed) preprocessing pass once and any
+// number of clients draw Õ(1) expected-time samples from the cached
+// engines (LRU-evicted under a memory budget).
+//
+// Datasets are the built-in generators by default; -load mounts point
+// files (written by srjgen or srj.SavePoints), each split 50/50 into
+// R and S the way the paper derives its join inputs.
+//
+// Usage:
+//
+//	srjserver                                  # built-ins, 100k points/side, :8080
+//	srjserver -addr :9000 -n 1000000           # bigger datasets
+//	srjserver -load taxi=/data/taxi.bin        # file-backed dataset "taxi"
+//	srjserver -warm "nyc:100;castreet:50:bbst:7"  # prebuild engines
+//	srjserver -budget-mb 4096 -maxt 5000000    # cache and request limits
+//
+// API (see internal/server): POST /v1/sample, GET /v1/stats,
+// GET /v1/engines, GET /healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	srj "repro"
+)
+
+// config is the parsed flag set.
+type config struct {
+	addr     string
+	n        int
+	dseed    uint64
+	budgetMB int64
+	maxT     int
+	timeout  time.Duration
+	load     string
+	warm     string
+}
+
+// parseFlags reads the command line into a config.
+func parseFlags(args []string, stdout io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("srjserver", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.n, "n", 100_000, "points per side for generated datasets")
+	fs.Uint64Var(&cfg.dseed, "dseed", 1, "seed for dataset generation and splitting")
+	fs.Int64Var(&cfg.budgetMB, "budget-mb", 1024, "engine cache memory budget in MiB (0 = unlimited)")
+	fs.IntVar(&cfg.maxT, "maxt", 1_000_000, "max samples per request")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline, engine build included")
+	fs.StringVar(&cfg.load, "load", "", "comma-separated name=path point files served as datasets (split 50/50 into R and S)")
+	fs.StringVar(&cfg.warm, "warm", "", "semicolon-separated dataset:l[:algorithm[:seed]] engines to prebuild")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.budgetMB < 0 {
+		// A negative budget would silently mean "unlimited" further
+		// down; an operator who typed -budget-mb -1024 meant a cap.
+		return nil, fmt.Errorf("-budget-mb must be >= 0 (0 = unlimited), got %d", cfg.budgetMB)
+	}
+	if cfg.maxT <= 0 {
+		return nil, fmt.Errorf("-maxt must be positive, got %d", cfg.maxT)
+	}
+	return cfg, nil
+}
+
+// buildServer assembles the srj.Server a config describes.
+func buildServer(cfg *config) (*srj.Server, error) {
+	loaded := map[string][2][]srj.Point{}
+	if cfg.load != "" {
+		for _, spec := range strings.Split(cfg.load, ",") {
+			name, path, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok || name == "" || path == "" {
+				return nil, fmt.Errorf("bad -load entry %q (want name=path)", spec)
+			}
+			pts, err := srj.LoadPoints(path)
+			if err != nil {
+				return nil, fmt.Errorf("loading dataset %q: %w", name, err)
+			}
+			R, S := srj.SplitRS(pts, 0.5, cfg.dseed)
+			loaded[name] = [2][]srj.Point{R, S}
+		}
+	}
+	budget := cfg.budgetMB << 20
+	if cfg.budgetMB == 0 {
+		budget = -1 // ServerOptions convention: negative = unlimited
+	}
+	opts := &srj.ServerOptions{
+		DatasetSize:  cfg.n,
+		DatasetSeed:  cfg.dseed,
+		MemoryBudget: budget,
+		MaxT:         cfg.maxT,
+		Timeout:      cfg.timeout,
+	}
+	if len(loaded) > 0 {
+		builtin := srj.BuiltinDatasets(cfg.n, cfg.dseed)
+		opts.Datasets = func(name string) ([]srj.Point, []srj.Point, error) {
+			if rs, ok := loaded[name]; ok {
+				return rs[0], rs[1], nil
+			}
+			return builtin(name)
+		}
+	}
+	return srj.NewServer(opts)
+}
+
+// parseWarm expands a -warm spec into engine keys.
+func parseWarm(spec string) ([]srj.EngineKey, error) {
+	var keys []srj.EngineKey
+	if spec == "" {
+		return keys, nil
+	}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("bad -warm entry %q (want dataset:l[:algorithm[:seed]])", entry)
+		}
+		key := srj.EngineKey{Dataset: parts[0], Algorithm: "bbst"}
+		var err error
+		if key.L, err = strconv.ParseFloat(parts[1], 64); err != nil {
+			return nil, fmt.Errorf("bad -warm extent in %q: %w", entry, err)
+		}
+		// ParseFloat accepts "NaN" and "Inf"; the extent must be a
+		// real window size.
+		if !(key.L > 0) || math.IsInf(key.L, 0) {
+			return nil, fmt.Errorf("bad -warm extent in %q: must be positive and finite", entry)
+		}
+		if len(parts) > 2 {
+			key.Algorithm = parts[2]
+		}
+		if len(parts) > 3 {
+			if key.Seed, err = strconv.ParseUint(parts[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("bad -warm seed in %q: %w", entry, err)
+			}
+		}
+		keys = append(keys, key)
+	}
+	return keys, nil
+}
+
+// run is the testable entry point: it parses args, brings the stack
+// up, reports the bound address through ready (tests pass ":0"), and
+// serves until ctx is cancelled.
+func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr string)) error {
+	cfg, err := parseFlags(args, stdout)
+	if err != nil {
+		return err
+	}
+	srv, err := buildServer(cfg)
+	if err != nil {
+		return err
+	}
+	warmKeys, err := parseWarm(cfg.warm)
+	if err != nil {
+		return err
+	}
+	for _, key := range warmKeys {
+		start := time.Now()
+		if err := srv.Warm(ctx, key); err != nil {
+			return fmt.Errorf("warming %s: %w", key, err)
+		}
+		fmt.Fprintf(stdout, "warmed %s in %v\n", key, time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "srjserver listening on %s (budget %d MiB, max t %d)\n",
+		ln.Addr(), cfg.budgetMB, cfg.maxT)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	// No blanket WriteTimeout: the sample handler sets per-frame write
+	// deadlines itself, so streams that make progress live while
+	// stalled readers are cut off.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	}
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "srjserver: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	srj "repro"
+)
+
+func TestParseWarm(t *testing.T) {
+	keys, err := parseWarm("nyc:100; castreet:50:kds:7 ;uniform:25.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []srj.EngineKey{
+		{Dataset: "nyc", L: 100, Algorithm: "bbst"},
+		{Dataset: "castreet", L: 50, Algorithm: "kds", Seed: 7},
+		{Dataset: "uniform", L: 25.5, Algorithm: "bbst"},
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("key %d = %+v, want %+v", i, keys[i], want[i])
+		}
+	}
+	for _, bad := range []string{"nyc", "nyc:abc", "nyc:100:bbst:xyz", "a:1:b:2:c"} {
+		if _, err := parseWarm(bad); err == nil {
+			t.Errorf("parseWarm(%q) accepted", bad)
+		}
+	}
+	if keys, err := parseWarm(""); err != nil || len(keys) != 0 {
+		t.Errorf("empty spec: %v, %v", keys, err)
+	}
+}
+
+func TestBuildServerBadFlags(t *testing.T) {
+	for _, load := range []string{"noequals", "=path", "name=", "x=/does/not/exist"} {
+		if _, err := buildServer(&config{n: 100, dseed: 1, load: load, maxT: 100}); err == nil {
+			t.Errorf("-load %q accepted", load)
+		}
+	}
+	if _, err := parseFlags([]string{"-budget-mb", "-1"}, os.Stderr); err == nil {
+		t.Error("negative -budget-mb accepted")
+	}
+	if _, err := parseFlags([]string{"-maxt", "0"}, os.Stderr); err == nil {
+		t.Error("zero -maxt accepted")
+	}
+}
+
+// TestServerEndToEnd boots the real binary path — flag parsing,
+// dataset loading, warmup, listener — and serves a client.
+func TestServerEndToEnd(t *testing.T) {
+	// A file-backed dataset exercises the -load path.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.bin")
+	if err := srj.SavePoints(path, srj.MustGenerate("uniform", 2000, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-n", "1000",
+			"-load", "mine=" + path,
+			"-warm", "uniform:200",
+			"-maxt", "10000",
+		}, os.Stderr, func(addr string) { addrc <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not come up")
+	}
+
+	cl := srj.NewClient("http://" + addr)
+	if err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The warmed engine serves without a build (builds stays 1).
+	if _, err := cl.Sample(ctx, srj.SampleRequest{Dataset: "uniform", L: 200, T: 500}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Registry.Builds != 1 || st.Registry.Hits != 1 {
+		t.Fatalf("warmed key rebuilt: %+v", st.Registry)
+	}
+	// The file-backed dataset serves too.
+	pairs, err := cl.Sample(ctx, srj.SampleRequest{Dataset: "mine", L: 500, T: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 200 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	// Over-cap requests are refused.
+	if _, err := cl.Sample(ctx, srj.SampleRequest{Dataset: "mine", L: 500, T: 10001}); err == nil ||
+		!strings.Contains(err.Error(), "cap") {
+		t.Fatalf("over-cap err = %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

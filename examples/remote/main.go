@@ -1,0 +1,103 @@
+// Remote serving: the paper's amortization across a process
+// boundary. examples/serving amortizes the Õ(n + m) preprocessing
+// across in-process requests; this example runs the full network
+// stack — srj.NewServer (engine registry + HTTP API) on a local
+// listener and srj.NewClient against it — so the one-time build
+// serves clients that never link the index structures at all.
+//
+// Watch the registry counters: the first request for a key pays the
+// build, every later one is a cache hit, and the streamed binary
+// transport moves bulk samples without materializing them on either
+// side.
+//
+// Run with:
+//
+//	go run ./examples/remote
+//
+// Against a real server, replace the in-process listener with
+// srjserver and point srj.NewClient at its address.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	srj "repro"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Server side: usually `srjserver -n 100000`, here in-process.
+	srv, err := srj.NewServer(&srj.ServerOptions{
+		DatasetSize:  100_000,
+		MemoryBudget: 512 << 20,       // cache at most 512 MiB of engines
+		MaxT:         1_000_000,       // refuse larger requests outright
+		Timeout:      5 * time.Minute, // the cold request below pays the build; don't 504 it on a slow box
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv)
+
+	cl := srj.NewClient("http://" + ln.Addr().String())
+	if err := cl.Health(ctx); err != nil {
+		log.Fatal(err)
+	}
+	req := srj.SampleRequest{Dataset: "nyc", L: 100, Algorithm: "bbst", Seed: 1, T: 100_000}
+
+	// Request 1: a registry miss — the server builds the BBST for
+	// (nyc, 100, bbst, 1) and then streams the samples.
+	start := time.Now()
+	pairs, err := cl.Sample(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold request: %d samples in %v (includes the one-time build)\n",
+		len(pairs), time.Since(start).Round(time.Millisecond))
+
+	// Request 2: the same key is a cache hit; only sampling and the
+	// wire remain.
+	start = time.Now()
+	pairs, err = cl.Sample(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm := time.Since(start)
+	fmt.Printf("warm request: %d samples in %v\n", len(pairs), warm.Round(time.Millisecond))
+
+	// Large transfers can stream with constant client memory: batches
+	// arrive as the server draws them.
+	var streamed int
+	err = cl.SampleFunc(ctx, srj.SampleRequest{Dataset: "nyc", L: 100, Seed: 1, T: 500_000},
+		func(batch []srj.Pair) error {
+			streamed += len(batch)
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d samples without materializing them client-side\n", streamed)
+
+	// The server's own accounting tells the amortization story.
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server: %d builds, %d hits, %d resident engines (%.1f MiB of %d MiB budget)\n",
+		st.Registry.Builds, st.Registry.Hits, st.Registry.Entries,
+		float64(st.Registry.Bytes)/(1<<20), st.Registry.Budget>>20)
+	for _, e := range st.Engines {
+		fmt.Printf("  engine %s: %d requests, %d samples served, avg latency %v\n",
+			e.Key, e.Engine.Requests, e.Engine.Samples,
+			e.Engine.AvgLatency().Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,196 @@
+package dataset
+
+// Direct tests of the file I/O layer: CSV and binary round-trips,
+// the malformed-input error paths of each reader, and a
+// SaveFile→LoadFile property test across both formats.
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func randomPts(seed uint64, n int) []geom.Point {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			ID: int32(i) - int32(n/2), // negative IDs must survive too
+			X:  r.Range(-1e9, 1e9),
+			Y:  r.Range(-1e9, 1e9),
+		}
+	}
+	return pts
+}
+
+func samePoints(t *testing.T, got, want []geom.Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSVRoundTripRandom(t *testing.T) {
+	pts := randomPts(1, 500)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePoints(t, got, pts)
+}
+
+func TestCSVReadSkipsBlanksAndComments(t *testing.T) {
+	in := "# header comment\n\n1, 2.5, 3.5\n\n  # indented comment\n2,4,5\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []geom.Point{{ID: 1, X: 2.5, Y: 3.5}, {ID: 2, X: 4, Y: 5}}
+	samePoints(t, got, want)
+}
+
+func TestCSVMalformed(t *testing.T) {
+	cases := map[string]string{
+		"too few fields":  "1,2\n",
+		"too many fields": "1,2,3,4\n",
+		"bad id":          "one,2,3\n",
+		"fractional id":   "1.5,2,3\n",
+		"bad x":           "1,nope,3\n",
+		"bad y":           "1,2,nope\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+				t.Fatalf("ReadCSV(%q) accepted", in)
+			}
+		})
+	}
+}
+
+func TestBinaryRoundTripSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 1000} {
+		pts := randomPts(2, n)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, pts); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePoints(t, got, pts)
+	}
+}
+
+func TestBinaryPreservesExtremeFloats(t *testing.T) {
+	pts := []geom.Point{
+		{ID: 1, X: math.MaxFloat64, Y: -math.MaxFloat64},
+		{ID: 2, X: math.SmallestNonzeroFloat64, Y: 0},
+		{ID: -3, X: math.Copysign(0, -1), Y: 1e-300},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if got[i].ID != pts[i].ID ||
+			math.Float64bits(got[i].X) != math.Float64bits(pts[i].X) ||
+			math.Float64bits(got[i].Y) != math.Float64bits(pts[i].Y) {
+			t.Fatalf("point %d: %v != %v (bit-exact)", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestBinaryMalformed(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, randomPts(3, 10)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	t.Run("empty input", func(t *testing.T) {
+		if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[0] ^= 0xFF
+		if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := ReadBinary(bytes.NewReader(good[:6])); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("truncated records", func(t *testing.T) {
+		if _, err := ReadBinary(bytes.NewReader(good[:len(good)-5])); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("implausible count", func(t *testing.T) {
+		// Claim 2^40 records with no data behind the claim: the
+		// reader must refuse rather than allocate.
+		var buf bytes.Buffer
+		WriteBinary(&buf, nil)
+		b := buf.Bytes()
+		b[4+5] = 1 // count is little-endian at offset 4; set bit 40
+		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("csv is not binary", func(t *testing.T) {
+		if _, err := ReadBinary(strings.NewReader("1,2,3\n")); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+}
+
+// TestSaveLoadProperty: for random point sets and both on-disk
+// formats, LoadFile(SaveFile(pts)) == pts.
+func TestSaveLoadProperty(t *testing.T) {
+	dir := t.TempDir()
+	for trial := uint64(0); trial < 6; trial++ {
+		n := int(trial * 137 % 700) // includes the empty set
+		pts := randomPts(trial+10, n)
+		for _, name := range []string{"pts.csv", "pts.bin"} {
+			path := filepath.Join(dir, name)
+			if err := SaveFile(path, pts); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePoints(t, got, pts)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

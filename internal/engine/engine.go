@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,15 +27,42 @@ import (
 // of pairs) to stay cache-resident.
 const DefaultBatch = 4096
 
+// ErrSampleCap is returned (wrapped, with the offending numbers) when
+// a request asks for more samples than the Engine's configured
+// per-request cap. Sample checks the cap before allocating the result
+// slice, so an adversarial t cannot OOM the process; servers should
+// treat this as a client error (it counts toward
+// Stats.ClientFailures).
+var ErrSampleCap = errors.New("engine: sample count exceeds the per-request cap")
+
 // Stats aggregates the request-level counters of an Engine. All
 // durations cover the full request — clone checkout, sampling, and
-// return to the pool.
+// return to the pool. The JSON form (snake_case, durations in
+// nanoseconds as the _ns suffixes say) is served verbatim by the
+// HTTP API's /v1/stats and /v1/engines.
 type Stats struct {
-	Requests     uint64        // completed requests, including failed ones
-	Samples      uint64        // join samples drawn across all requests
-	Failures     uint64        // requests that returned an error
-	TotalLatency time.Duration // summed request latency
-	MaxLatency   time.Duration // slowest single request
+	// Requests counts completed requests, including failed ones.
+	Requests uint64 `json:"requests"`
+	// Samples counts join samples drawn across all requests.
+	Samples uint64 `json:"samples"`
+	// Failures is the total number of requests that returned an
+	// error: ClientFailures + SamplerFailures.
+	Failures uint64 `json:"failures"`
+	// ClientFailures counts request-level errors: a bad or over-cap
+	// t, an error returned by a SampleFunc callback, or a request
+	// context that expired or was cancelled mid-draw. These are
+	// problems with individual requests (or the capacity to serve
+	// them in time), not with the sampling structures.
+	ClientFailures uint64 `json:"client_failures"`
+	// SamplerFailures counts errors from the sampling algorithm
+	// itself (core.ErrLowAcceptance: the rejection budget was
+	// exhausted). A monitoring system should alert on these — they
+	// indicate a degenerate dataset/window, not a misbehaving client.
+	SamplerFailures uint64 `json:"sampler_failures"`
+	// TotalLatency is the summed request latency.
+	TotalLatency time.Duration `json:"total_latency_ns"`
+	// MaxLatency is the slowest single request.
+	MaxLatency time.Duration `json:"max_latency_ns"`
 }
 
 // AvgLatency returns the mean request latency.
@@ -55,11 +83,14 @@ type Engine struct {
 
 	buffers sync.Pool // *[]geom.Pair batches for SampleFunc
 
-	requests  atomic.Uint64
-	samples   atomic.Uint64
-	failures  atomic.Uint64
-	latencyNS atomic.Int64
-	maxNS     atomic.Int64
+	maxT atomic.Int64 // per-request sample cap; 0 = unlimited
+
+	requests    atomic.Uint64
+	samples     atomic.Uint64
+	clientFails atomic.Uint64
+	samplerFail atomic.Uint64
+	latencyNS   atomic.Int64
+	maxNS       atomic.Int64
 }
 
 // New prepares parent through Count — the only time the grid, corner
@@ -86,6 +117,32 @@ func New(parent core.Cloner, seed uint64) (*Engine, error) {
 // Name identifies the underlying algorithm.
 func (e *Engine) Name() string { return e.name }
 
+// SetMaxT caps the number of samples a single request may ask for;
+// n <= 0 removes the cap. The cap is checked before any allocation,
+// so it bounds per-request memory at roughly n*sizeof(Pair) bytes.
+// Safe to call concurrently with serving.
+func (e *Engine) SetMaxT(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.maxT.Store(int64(n))
+}
+
+// MaxT reports the per-request sample cap (0 = unlimited).
+func (e *Engine) MaxT() int { return int(e.maxT.Load()) }
+
+// checkT validates a requested sample count against the cap. The
+// returned error is a client error for Stats purposes.
+func (e *Engine) checkT(t int) error {
+	if t < 0 {
+		return fmt.Errorf("engine: negative sample count %d", t)
+	}
+	if maxT := e.maxT.Load(); maxT > 0 && int64(t) > maxT {
+		return fmt.Errorf("%w: t=%d > cap %d", ErrSampleCap, t, maxT)
+	}
+	return nil
+}
+
 // SizeBytes estimates the retained footprint of the shared structures
 // (excluding per-clone scratch, which is negligible).
 func (e *Engine) SizeBytes() int { return e.size }
@@ -111,10 +168,14 @@ func (e *Engine) SampleInto(dst []geom.Pair) (int, error) {
 	return n, err
 }
 
-// Sample serves one request for t samples into a fresh slice.
+// Sample serves one request for t samples into a fresh slice. The
+// request is rejected — before the slice is allocated — when t is
+// negative or exceeds the SetMaxT cap, so no request can force an
+// unbounded allocation.
 func (e *Engine) Sample(t int) ([]geom.Pair, error) {
-	if t < 0 {
-		return nil, fmt.Errorf("engine: negative sample count %d", t)
+	if err := e.checkT(t); err != nil {
+		e.record(time.Now(), 0, err)
+		return nil, err
 	}
 	dst := make([]geom.Pair, t)
 	n, err := e.SampleInto(dst)
@@ -127,8 +188,9 @@ func (e *Engine) Sample(t int) ([]geom.Pair, error) {
 // reused across batches and requests — fn must not retain it. An
 // error from fn aborts the request and is returned verbatim.
 func (e *Engine) SampleFunc(t int, fn func(batch []geom.Pair) error) error {
-	if t < 0 {
-		return fmt.Errorf("engine: negative sample count %d", t)
+	if err := e.checkT(t); err != nil {
+		e.record(time.Now(), 0, err)
+		return err
 	}
 	if t == 0 {
 		return nil
@@ -162,12 +224,19 @@ func (e *Engine) SampleFunc(t int, fn func(batch []geom.Pair) error) error {
 }
 
 // record folds one finished request into the aggregate counters.
+// Errors are classified: core.ErrLowAcceptance is the sampler giving
+// up (alertable); everything else a request can produce — bad t, an
+// over-cap t, a SampleFunc callback error — is the client's fault.
 func (e *Engine) record(start time.Time, samples int, err error) {
 	lat := time.Since(start)
 	e.requests.Add(1)
 	e.samples.Add(uint64(samples))
 	if err != nil {
-		e.failures.Add(1)
+		if errors.Is(err, core.ErrLowAcceptance) {
+			e.samplerFail.Add(1)
+		} else {
+			e.clientFails.Add(1)
+		}
 	}
 	e.latencyNS.Add(int64(lat))
 	for {
@@ -182,11 +251,15 @@ func (e *Engine) record(start time.Time, samples int, err error) {
 // concurrent traffic the fields are individually, not jointly,
 // consistent.
 func (e *Engine) Stats() Stats {
+	client := e.clientFails.Load()
+	sampler := e.samplerFail.Load()
 	return Stats{
-		Requests:     e.requests.Load(),
-		Samples:      e.samples.Load(),
-		Failures:     e.failures.Load(),
-		TotalLatency: time.Duration(e.latencyNS.Load()),
-		MaxLatency:   time.Duration(e.maxNS.Load()),
+		Requests:        e.requests.Load(),
+		Samples:         e.samples.Load(),
+		Failures:        client + sampler,
+		ClientFailures:  client,
+		SamplerFailures: sampler,
+		TotalLatency:    time.Duration(e.latencyNS.Load()),
+		MaxLatency:      time.Duration(e.maxNS.Load()),
 	}
 }

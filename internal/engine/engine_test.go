@@ -210,6 +210,76 @@ func TestEngineEdgeCases(t *testing.T) {
 	}
 }
 
+// TestEngineSampleCap: requests over the configured cap fail with
+// ErrSampleCap before any result slice is allocated, and count as
+// client failures.
+func TestEngineSampleCap(t *testing.T) {
+	e, _ := newTestEngine(t, 6)
+	e.SetMaxT(1000)
+	if e.MaxT() != 1000 {
+		t.Fatalf("MaxT = %d", e.MaxT())
+	}
+	if _, err := e.Sample(1001); !errors.Is(err, ErrSampleCap) {
+		t.Fatalf("over-cap Sample: err = %v", err)
+	}
+	if err := e.SampleFunc(1001, func([]geom.Pair) error { t.Error("fn called"); return nil }); !errors.Is(err, ErrSampleCap) {
+		t.Fatalf("over-cap SampleFunc: err = %v", err)
+	}
+	// At the cap is fine.
+	if pairs, err := e.Sample(1000); err != nil || len(pairs) != 1000 {
+		t.Fatalf("at-cap Sample: %d pairs, %v", len(pairs), err)
+	}
+	// Removing the cap restores unlimited requests.
+	e.SetMaxT(0)
+	if pairs, err := e.Sample(1001); err != nil || len(pairs) != 1001 {
+		t.Fatalf("uncapped Sample: %d pairs, %v", len(pairs), err)
+	}
+	st := e.Stats()
+	if st.ClientFailures != 2 || st.SamplerFailures != 0 || st.Failures != 2 {
+		t.Fatalf("failure split = %+v", st)
+	}
+}
+
+// TestEngineFailureClassification: caller-induced errors (bad t, fn
+// error) land in ClientFailures; only algorithmic give-ups
+// (core.ErrLowAcceptance) land in SamplerFailures.
+func TestEngineFailureClassification(t *testing.T) {
+	e, _ := newTestEngine(t, 7)
+	if _, err := e.Sample(-1); err == nil {
+		t.Fatal("negative t accepted")
+	}
+	boom := errors.New("boom")
+	if err := e.SampleFunc(10, func([]geom.Pair) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	st := e.Stats()
+	if st.ClientFailures != 2 || st.SamplerFailures != 0 {
+		t.Fatalf("client errors misclassified: %+v", st)
+	}
+
+	// A rejection budget of 1 makes the first rejected iteration fatal;
+	// the BBST's corner-bucket upper bounds overcount, so drawing many
+	// samples is certain to reject at least once. That give-up must be
+	// classified as a sampler failure.
+	r := rng.New(9)
+	R := testPoints(r, 400, 50, 0)
+	S := testPoints(r, 400, 50, 10000)
+	s, err := core.NewBBST(R, S, core.Config{HalfExtent: 5, Seed: 1, MaxRejects: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := New(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := le.Sample(50000); !errors.Is(err, core.ErrLowAcceptance) {
+		t.Fatalf("want ErrLowAcceptance, got %v", err)
+	}
+	if st := le.Stats(); st.SamplerFailures != 1 || st.ClientFailures != 0 {
+		t.Fatalf("sampler error misclassified: %+v", st)
+	}
+}
+
 // TestEngineEmptyJoin: a provably empty join fails at construction,
 // not on the first request.
 func TestEngineEmptyJoin(t *testing.T) {

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/registry"
+)
+
+// Client speaks the srjserver wire protocol. The zero value is not
+// usable; construct with NewClient. A Client is safe for concurrent
+// use — it holds no per-request state beyond the http.Client's
+// connection pool.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:8080"). hc may be nil to use
+// http.DefaultClient; pass a custom client to control connection
+// pooling, TLS, or transport-level timeouts (per-request deadlines
+// belong in the context instead).
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// APIError is a non-2xx answer from the server.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // the server's error body
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// apiError decodes resp's error body into an *APIError.
+func apiError(resp *http.Response) error {
+	var body errorResponse
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}
+
+// postSample issues the request with the given Accept header and
+// returns the response on HTTP 200. The caller owns resp.Body.
+func (c *Client) postSample(ctx context.Context, req SampleRequest, accept string) (*http.Response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sample", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set("Accept", accept)
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}
+
+// Sample draws req.T uniform independent join samples over the wire
+// using the compact binary transport. Equal requests against one
+// server do not replay samples: the engine's stream advances with
+// every request it serves.
+func (c *Client) Sample(ctx context.Context, req SampleRequest) ([]geom.Pair, error) {
+	if req.T < 0 {
+		return nil, fmt.Errorf("server: negative sample count %d", req.T)
+	}
+	// Cap the preallocation: req.T is client input the server has not
+	// validated yet, and trusting it here would reintroduce the
+	// allocate-before-validate OOM that Engine.SetMaxT exists to
+	// prevent. Oversized requests fail at the server before the slice
+	// ever needs to grow past this.
+	capHint := req.T
+	if capHint > maxFramePairs {
+		capHint = maxFramePairs
+	}
+	out := make([]geom.Pair, 0, capHint)
+	err := c.SampleFunc(ctx, req, func(batch []geom.Pair) error {
+		out = append(out, batch...)
+		return nil
+	})
+	return out, err
+}
+
+// SampleFunc streams req.T samples, invoking fn with each decoded
+// batch as it arrives off the wire — constant client memory however
+// large req.T is. The batch's backing array is reused; fn must not
+// retain it. An fn error aborts the stream and is returned verbatim.
+func (c *Client) SampleFunc(ctx context.Context, req SampleRequest, fn func(batch []geom.Pair) error) error {
+	req.Format = "binary"
+	resp, err := c.postSample(ctx, req, ContentTypeBinary)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	n, err := readWireStream(resp.Body, fn)
+	if err != nil {
+		return err
+	}
+	if n != req.T {
+		return fmt.Errorf("server: stream delivered %d of %d samples", n, req.T)
+	}
+	return nil
+}
+
+// SampleJSON draws req.T samples using the JSON transport — slower
+// and larger than Sample, but self-describing (useful for debugging
+// and non-Go consumers).
+func (c *Client) SampleJSON(ctx context.Context, req SampleRequest) ([]geom.Pair, error) {
+	req.Format = "json"
+	resp, err := c.postSample(ctx, req, "application/json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body SampleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("server: decoding response: %w", err)
+	}
+	return body.Pairs, nil
+}
+
+// getJSON fetches path and decodes the JSON body into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Stats fetches the server's aggregate serving counters.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.getJSON(ctx, "/v1/stats", &out)
+	return out, err
+}
+
+// Engines lists the server's resident engines, most recently used
+// first.
+func (c *Client) Engines(ctx context.Context) ([]registry.EntryInfo, error) {
+	var out []registry.EntryInfo
+	err := c.getJSON(ctx, "/v1/engines", &out)
+	return out, err
+}
+
+// EvictEngine asks the server to drop the resident engine for key,
+// reporting whether one existed. Benchmarks and load tools that
+// insert throwaway keys should clean up with this so they do not
+// crowd a long-lived server's cache.
+func (c *Client) EvictEngine(ctx context.Context, key registry.Key) (bool, error) {
+	payload, err := json.Marshal(SampleRequest{
+		Dataset: key.Dataset, L: key.L, Algorithm: key.Algorithm, Seed: key.Seed,
+	})
+	if err != nil {
+		return false, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/engines", bytes.NewReader(payload))
+	if err != nil {
+		return false, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, apiError(resp)
+	}
+	var body EvictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false, err
+	}
+	return body.Evicted, nil
+}
+
+// Health probes GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Message: "health check failed"}
+	}
+	return nil
+}

@@ -1,0 +1,346 @@
+// Package server exposes the engine registry over HTTP, turning the
+// paper's amortization into a network service: one process pays the
+// Õ(n + m) preprocessing per (dataset, l, algorithm, seed) key and a
+// whole fleet of clients draws Õ(1) expected-time samples from it.
+//
+// The API surface is small:
+//
+//	POST   /v1/sample  — draw t samples for a key; JSON or a framed
+//	                     binary encoding (see wire.go) streamed in
+//	                     Engine.SampleFunc chunks
+//	GET    /v1/stats   — registry + per-engine serving counters
+//	GET    /v1/engines — the resident engines, most recently used first
+//	DELETE /v1/engines — evict one engine by key (tools that insert
+//	                     throwaway keys, like srjbench -remote, clean
+//	                     up with this)
+//	GET    /healthz    — liveness
+//
+// Every request is bounded: t is capped (Config.MaxT, and the
+// buffering JSON transport at the lower Config.MaxTJSON), bodies are
+// size-limited, sampling runs under a context deadline, and the
+// registry caps concurrent engine builds at GOMAXPROCS — adversarial
+// requests cannot force unbounded allocation or pin workers forever.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/registry"
+)
+
+// ErrBadKey marks registry build errors caused by the request — an
+// unknown dataset or algorithm name, an invalid l — as distinct from
+// server-side failures. Builders wrap such errors with it so the
+// handler can answer 400 instead of 500.
+var ErrBadKey = errors.New("server: bad engine key")
+
+// Defaults for optional Config fields.
+const (
+	DefaultMaxT = 1_000_000
+	// DefaultMaxTJSON is the default cap of the JSON transport,
+	// which — unlike the streamed binary transport — materializes
+	// the whole response (~48 bytes/pair, so ~12 MiB at this cap)
+	// before writing it. Bulk transfers belong on the binary
+	// transport.
+	DefaultMaxTJSON = 1 << 18
+	DefaultTimeout  = 30 * time.Second
+	// maxBodyBytes bounds a /v1/sample request body; requests are a
+	// few short fields, so 1 MiB is generous.
+	maxBodyBytes = 1 << 20
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Registry resolves keys to engines. Required.
+	Registry *registry.Registry
+	// MaxT caps the samples one request may ask for (default
+	// DefaultMaxT). Binary responses stream in constant memory, so
+	// this cap is about sampling work, not response size.
+	MaxT int
+	// MaxTJSON caps t for the buffering JSON transport (default
+	// min(DefaultMaxTJSON, MaxT); never above MaxT). It bounds
+	// per-request response memory at ~48*MaxTJSON bytes — under
+	// concurrent load that multiplies per in-flight request, so keep
+	// it small and push bulk traffic to the binary transport.
+	MaxTJSON int
+	// Timeout bounds one request end to end, engine build included
+	// (default DefaultTimeout).
+	Timeout time.Duration
+}
+
+// Server is the HTTP handler of the serving subsystem. Create with
+// New; it is safe for concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New validates cfg, applies defaults, and returns a ready handler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("server: Config.Registry is required")
+	}
+	if cfg.MaxT <= 0 {
+		cfg.MaxT = DefaultMaxT
+	}
+	if cfg.MaxTJSON <= 0 {
+		cfg.MaxTJSON = DefaultMaxTJSON
+	}
+	if cfg.MaxTJSON > cfg.MaxT {
+		cfg.MaxTJSON = cfg.MaxT
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/sample", s.handleSample)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	s.mux.HandleFunc("DELETE /v1/engines", s.handleEvict)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// MaxT reports the configured per-request sample cap.
+func (s *Server) MaxT() int { return s.cfg.MaxT }
+
+// SampleRequest is the body of POST /v1/sample.
+type SampleRequest struct {
+	// Dataset names the point-set pair to join; the set of valid
+	// names is the registry builder's business (srjserver: built-in
+	// generators plus -load files).
+	Dataset string `json:"dataset"`
+	// L is the window half-extent; must be positive and finite.
+	L float64 `json:"l"`
+	// Algorithm selects the sampler; empty means "bbst".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seed drives the engine's request streams. Requests with equal
+	// keys share one engine, so equal seeds do NOT replay samples —
+	// the seed selects an engine, and its stream advances per request.
+	Seed uint64 `json:"seed,omitempty"`
+	// T is the number of samples to draw; 0 < T <= the server's MaxT.
+	T int `json:"t"`
+	// Format selects the response encoding: "json" (default) or
+	// "binary" (the framed stream of wire.go). An Accept header of
+	// ContentTypeBinary also selects binary.
+	Format string `json:"format,omitempty"`
+}
+
+// Key returns the registry key the request addresses.
+func (q SampleRequest) Key() registry.Key {
+	algo := q.Algorithm
+	if algo == "" {
+		algo = "bbst"
+	}
+	return registry.Key{Dataset: q.Dataset, L: q.L, Algorithm: algo, Seed: q.Seed}
+}
+
+// SampleResponse is the JSON body of a successful /v1/sample.
+type SampleResponse struct {
+	Count int         `json:"count"`
+	Pairs []geom.Pair `json:"pairs"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSecs float64              `json:"uptime_secs"`
+	MaxT       int                  `json:"max_t"`
+	Registry   registry.Stats       `json:"registry"`
+	Engines    []registry.EntryInfo `json:"engines"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError answers with a JSON error body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps an error to the HTTP status that describes it.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadKey), errors.Is(err, registry.ErrInvalidKey),
+		errors.Is(err, engine.ErrSampleCap):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrEmptyJoin):
+		// The key is well-formed but the join it names has no pairs
+		// to sample: the request cannot be processed.
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the code is for the access log only.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	var req SampleRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "dataset is required")
+		return
+	}
+	if req.T <= 0 {
+		writeError(w, http.StatusBadRequest, "t must be positive, got %d", req.T)
+		return
+	}
+	if req.T > s.cfg.MaxT {
+		writeError(w, http.StatusBadRequest, "t=%d exceeds the server cap %d", req.T, s.cfg.MaxT)
+		return
+	}
+	// An explicit body format wins; the Accept header is only a
+	// fallback for clients that leave the field empty.
+	if req.Format != "" && req.Format != "json" && req.Format != "binary" {
+		writeError(w, http.StatusBadRequest, "unknown format %q (json or binary)", req.Format)
+		return
+	}
+	binaryOut := req.Format == "binary" ||
+		(req.Format == "" && r.Header.Get("Accept") == ContentTypeBinary)
+	if !binaryOut && req.T > s.cfg.MaxTJSON {
+		writeError(w, http.StatusBadRequest,
+			"t=%d exceeds the JSON transport cap %d; use format \"binary\" for bulk transfers",
+			req.T, s.cfg.MaxTJSON)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	eng, err := s.cfg.Registry.Get(ctx, req.Key())
+	if err != nil {
+		writeError(w, statusFor(err), "building engine %s: %v", req.Key(), err)
+		return
+	}
+	if binaryOut {
+		s.streamBinary(ctx, w, eng, req.T)
+		return
+	}
+	s.respondJSON(ctx, w, eng, req.T)
+}
+
+// respondJSON draws all t samples (bounded by MaxTJSON), then encodes
+// one JSON body. Drawing goes through SampleFunc so the context
+// deadline is honored between chunks; the response write gets its own
+// deadline so a client that stops reading cannot pin the handler.
+func (s *Server) respondJSON(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, t int) {
+	pairs := make([]geom.Pair, 0, t)
+	err := eng.SampleFunc(t, func(batch []geom.Pair) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pairs = append(pairs, batch...)
+		return nil
+	})
+	if err != nil {
+		writeError(w, statusFor(err), "sampling: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
+	json.NewEncoder(w).Encode(SampleResponse{Count: len(pairs), Pairs: pairs})
+}
+
+// streamBinary streams t samples as framed chunks, flushing per
+// chunk, in constant memory. Errors after the first chunk arrive as
+// an in-stream error frame (the 200 status is already on the wire).
+// Each frame write gets a fresh deadline: a client making progress
+// can stream forever, but one that stops reading blocks our Write,
+// trips the deadline, and frees the handler and its sampler clone —
+// the between-batch ctx check alone never fires while Write is stuck.
+func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, t int) {
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
+	if err := writeWireHeader(w); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	var scratch []byte
+	err := eng.SampleFunc(t, func(batch []geom.Pair) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rc.SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
+		var werr error
+		scratch, werr = writeWireFrame(w, batch, scratch)
+		if werr != nil {
+			return werr
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		writeWireError(w, err.Error())
+		return
+	}
+	writeWireEnd(w)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeSecs: time.Since(s.start).Seconds(),
+		MaxT:       s.cfg.MaxT,
+		Registry:   s.cfg.Registry.Stats(),
+		Engines:    s.cfg.Registry.Entries(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cfg.Registry.Entries())
+}
+
+// EvictResponse is the body of DELETE /v1/engines.
+type EvictResponse struct {
+	Evicted bool `json:"evicted"` // false when no engine was resident
+}
+
+// handleEvict drops one resident engine. The body is a registry key:
+// {"dataset":..., "l":..., "algorithm":..., "seed":...}; the default
+// algorithm rule of SampleRequest applies.
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	var req SampleRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "dataset is required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(EvictResponse{Evicted: s.cfg.Registry.Evict(req.Key())})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

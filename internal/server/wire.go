@@ -1,0 +1,194 @@
+package server
+
+// The compact binary encoding for bulk pair transfer. JSON spends
+// ~100 bytes per sampled pair and most of the server's CPU in the
+// encoder; a sampling service exists to move millions of pairs, so
+// the wire format matters. The binary stream is framed so that the
+// server can flush chunks as Engine.SampleFunc produces them and the
+// client can consume them incrementally with bounded memory:
+//
+//	header : magic uint32 ("SRJP"), version uint8
+//	frame  : count uint32 > 0, then count 40-byte pair records
+//	         (r.id int32, r.x, r.y float64, s.id int32, s.x, s.y)
+//	end    : count uint32 == 0 — the stream completed cleanly
+//	error  : count uint32 == 0xFFFFFFFF, msgLen uint32, msg bytes —
+//	         the stream aborted after the header was sent
+//
+// All integers and floats are little-endian. The explicit end frame
+// distinguishes a complete stream from a connection that died midway,
+// and the error frame carries mid-stream failures that HTTP status
+// codes cannot (the 200 header is long gone by then).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+const (
+	// wireMagic opens every binary pair stream.
+	wireMagic = uint32(0x53524a50) // "SRJP"
+	// wireVersion is bumped on incompatible format changes.
+	wireVersion = uint8(1)
+	// pairBytes is the encoded size of one pair record.
+	pairBytes = 40
+	// frameError marks an error frame's count field.
+	frameError = uint32(0xFFFFFFFF)
+	// maxFramePairs bounds the pairs a reader accepts in one frame,
+	// so a malicious stream cannot force an unbounded allocation.
+	maxFramePairs = 1 << 16
+	// maxErrorLen bounds an error frame's message.
+	maxErrorLen = 1 << 16
+
+	// ContentTypeBinary is the media type of the framed stream.
+	ContentTypeBinary = "application/x-srj-pairs"
+)
+
+// writeWireHeader opens a binary pair stream.
+func writeWireHeader(w io.Writer) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], wireMagic)
+	hdr[4] = wireVersion
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// writeWireFrame encodes a non-empty batch of pairs, splitting
+// batches beyond maxFramePairs across several frames so the writer
+// can never emit a frame the reader is obliged to reject. scratch is
+// reused across calls when large enough; the (possibly grown) buffer
+// is returned.
+func writeWireFrame(w io.Writer, pairs []geom.Pair, scratch []byte) ([]byte, error) {
+	for len(pairs) > maxFramePairs {
+		var err error
+		if scratch, err = writeWireFrame(w, pairs[:maxFramePairs], scratch); err != nil {
+			return scratch, err
+		}
+		pairs = pairs[maxFramePairs:]
+	}
+	if len(pairs) == 0 {
+		return scratch, nil
+	}
+	need := 4 + len(pairs)*pairBytes
+	if cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	buf := scratch[:need]
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(pairs)))
+	off := 4
+	for _, p := range pairs {
+		off += putPoint(buf[off:], p.R)
+		off += putPoint(buf[off:], p.S)
+	}
+	_, err := w.Write(buf)
+	return scratch, err
+}
+
+// putPoint encodes one point record and returns its size.
+func putPoint(b []byte, p geom.Point) int {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(p.ID))
+	binary.LittleEndian.PutUint64(b[4:12], math.Float64bits(p.X))
+	binary.LittleEndian.PutUint64(b[12:20], math.Float64bits(p.Y))
+	return 20
+}
+
+// writeWireEnd closes a binary pair stream cleanly.
+func writeWireEnd(w io.Writer) error {
+	var b [4]byte
+	_, err := w.Write(b[:])
+	return err
+}
+
+// writeWireError aborts a binary pair stream with a message the
+// client surfaces as an error.
+func writeWireError(w io.Writer, msg string) error {
+	if len(msg) > maxErrorLen {
+		msg = msg[:maxErrorLen]
+	}
+	buf := make([]byte, 8+len(msg))
+	binary.LittleEndian.PutUint32(buf[:4], frameError)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(msg)))
+	copy(buf[8:], msg)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readWireStream consumes a binary pair stream, invoking fn with
+// each decoded batch (whose backing array is reused — fn must not
+// retain it), and returns the total pair count. It fails on a
+// malformed stream, an error frame, or an fn error.
+func readWireStream(r io.Reader, fn func(batch []geom.Pair) error) (int, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("server: reading stream header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[:4]); m != wireMagic {
+		return 0, fmt.Errorf("server: bad stream magic %#x", m)
+	}
+	if v := hdr[4]; v != wireVersion {
+		return 0, fmt.Errorf("server: unsupported stream version %d", v)
+	}
+	total := 0
+	var batch []geom.Pair
+	var raw []byte
+	for {
+		var cnt [4]byte
+		if _, err := io.ReadFull(r, cnt[:]); err != nil {
+			return total, fmt.Errorf("server: stream truncated mid-frame: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(cnt[:])
+		switch {
+		case n == 0:
+			return total, nil
+		case n == frameError:
+			var ln [4]byte
+			if _, err := io.ReadFull(r, ln[:]); err != nil {
+				return total, fmt.Errorf("server: truncated error frame: %w", err)
+			}
+			l := binary.LittleEndian.Uint32(ln[:])
+			if l > maxErrorLen {
+				return total, fmt.Errorf("server: oversized error frame (%d bytes)", l)
+			}
+			msg := make([]byte, l)
+			if _, err := io.ReadFull(r, msg); err != nil {
+				return total, fmt.Errorf("server: truncated error frame: %w", err)
+			}
+			return total, fmt.Errorf("server: remote error: %s", msg)
+		case n > maxFramePairs:
+			return total, fmt.Errorf("server: oversized frame (%d pairs)", n)
+		}
+		need := int(n) * pairBytes
+		if cap(raw) < need {
+			raw = make([]byte, need)
+			batch = make([]geom.Pair, n)
+		}
+		raw = raw[:need]
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return total, fmt.Errorf("server: stream truncated mid-frame: %w", err)
+		}
+		batch = batch[:n]
+		for i := range batch {
+			off := i * pairBytes
+			batch[i].R = getPoint(raw[off:])
+			batch[i].S = getPoint(raw[off+20:])
+		}
+		total += int(n)
+		if fn != nil {
+			if err := fn(batch); err != nil {
+				return total, err
+			}
+		}
+	}
+}
+
+// getPoint decodes one 20-byte point record.
+func getPoint(b []byte) geom.Point {
+	return geom.Point{
+		ID: int32(binary.LittleEndian.Uint32(b[0:4])),
+		X:  math.Float64frombits(binary.LittleEndian.Uint64(b[4:12])),
+		Y:  math.Float64frombits(binary.LittleEndian.Uint64(b[12:20])),
+	}
+}

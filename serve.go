@@ -1,0 +1,270 @@
+package srj
+
+// The network serving layer: srj.NewServer assembles the engine
+// registry and HTTP API of internal/registry and internal/server
+// into an http.Handler, and srj.NewClient speaks its wire protocol.
+// cmd/srjserver is a thin flag-parsing shell around NewServer; any
+// program can embed the same handler in its own http.Server.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/registry"
+	"repro/internal/server"
+)
+
+// EngineKey identifies one cacheable engine on a Server: the named
+// dataset pair, the window half-extent, the algorithm, and the
+// engine seed.
+type EngineKey = registry.Key
+
+// RegistryStats aggregates a Server's cache counters.
+type RegistryStats = registry.Stats
+
+// EngineInfo describes one engine resident in a Server's registry.
+type EngineInfo = registry.EntryInfo
+
+// SampleRequest is the body of the serving API's POST /v1/sample.
+type SampleRequest = server.SampleRequest
+
+// ServerStats is the body of the serving API's GET /v1/stats.
+type ServerStats = server.StatsResponse
+
+// Client speaks the srjserver wire protocol; construct with
+// NewClient.
+type Client = server.Client
+
+// APIError is a non-2xx answer from a Server.
+type APIError = server.APIError
+
+// NewClient returns a client for the srjserver-compatible server at
+// base (e.g. "http://localhost:8080") using http.DefaultClient. Note
+// http.DefaultClient keeps only two idle connections per host; for
+// many concurrent request goroutines use NewClientHTTP with a
+// transport sized to the concurrency (as srjbench -remote does).
+func NewClient(base string) *Client { return server.NewClient(base, nil) }
+
+// NewClientHTTP is NewClient with a caller-supplied http.Client, for
+// control over connection pooling, TLS, and transport-level
+// timeouts (per-request deadlines belong in the context instead).
+func NewClientHTTP(base string, hc *http.Client) *Client { return server.NewClient(base, hc) }
+
+// ServerOptions configures NewServer. The zero value serves the
+// built-in dataset generators at 100k points per side with a 1 GiB
+// engine budget.
+type ServerOptions struct {
+	// Datasets resolves a dataset name to the two point sets being
+	// joined. nil uses the built-in generators (DatasetNames) with
+	// DatasetSize points per side: R from DatasetSeed, S from
+	// DatasetSeed+1. A non-nil resolver must be safe for concurrent
+	// use and deterministic — the registry assumes equal names mean
+	// equal data.
+	Datasets func(name string) (R, S []Point, err error)
+	// DatasetSize is the per-side size the default resolver
+	// generates (default 100_000). Ignored when Datasets is set.
+	DatasetSize int
+	// DatasetSeed seeds the default resolver's generators (default
+	// 1). Ignored when Datasets is set.
+	DatasetSeed uint64
+	// MemoryBudget bounds the summed SizeBytes of cached engines;
+	// least-recently-used engines are evicted beyond it. 0 means
+	// 1 GiB; negative means unlimited.
+	MemoryBudget int64
+	// MaxT caps the samples one request may ask for (default
+	// server.DefaultMaxT = 1e6). Every engine the server builds gets
+	// this as its Engine.SetMaxT cap too.
+	MaxT int
+	// Timeout bounds one request end to end, engine build included
+	// (default 30s).
+	Timeout time.Duration
+}
+
+// Server is the serving subsystem as an embeddable http.Handler:
+// an engine registry (memory-budgeted, build-deduplicating) behind
+// the HTTP API of internal/server. Create with NewServer.
+type Server struct {
+	h   *server.Server
+	reg *registry.Registry
+}
+
+// NewServer assembles a serving stack from opts.
+func NewServer(opts *ServerOptions) (*Server, error) {
+	var o ServerOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Datasets == nil {
+		o.Datasets = BuiltinDatasets(o.DatasetSize, o.DatasetSeed)
+	}
+	// Resolvers are documented as deterministic — equal names mean
+	// equal data — so resolutions are memoized with per-name
+	// once-semantics: distinct keys on one dataset (different l,
+	// algorithm, or seed) share one resolution even when their builds
+	// race, instead of regenerating or reloading the points per
+	// engine build. The memo is itself bounded (it lives outside the
+	// engine MemoryBudget): only the most recently used few datasets
+	// stay pinned here — anything older is re-resolved on next use,
+	// and datasets serving resident engines are pinned by those
+	// engines regardless. Failed resolutions are dropped so the next
+	// request retries.
+	o.Datasets = memoizeDatasets(o.Datasets)
+	switch {
+	case o.MemoryBudget == 0:
+		o.MemoryBudget = 1 << 30
+	case o.MemoryBudget < 0:
+		o.MemoryBudget = 0 // registry convention: 0 = unlimited
+	}
+	if o.MaxT <= 0 {
+		o.MaxT = server.DefaultMaxT
+	}
+
+	build := func(ctx context.Context, key EngineKey) (*engine.Engine, error) {
+		// Key problems are the client's fault (wrapped ErrBadKey →
+		// HTTP 400); a failing build on a valid key is the server's.
+		if !knownAlgorithm(key.Algorithm) {
+			return nil, fmt.Errorf("%w: unknown algorithm %q (have %v)",
+				server.ErrBadKey, key.Algorithm, Algorithms())
+		}
+		if !(key.L > 0) || math.IsInf(key.L, 0) {
+			return nil, fmt.Errorf("%w: half-extent must be positive and finite, got %g",
+				server.ErrBadKey, key.L)
+		}
+		R, S, err := o.Datasets(key.Dataset)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", server.ErrBadKey, err)
+		}
+		eng, err := NewEngine(R, S, key.L, &Options{
+			Algorithm: Algorithm(key.Algorithm),
+			Seed:      key.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng.SetMaxT(o.MaxT)
+		return eng.e, nil
+	}
+	reg := registry.New(build, o.MemoryBudget)
+	h, err := server.New(server.Config{Registry: reg, MaxT: o.MaxT, Timeout: o.Timeout})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{h: h, reg: reg}, nil
+}
+
+// BuiltinDatasets returns the dataset resolver NewServer uses by
+// default: the built-in generators (DatasetNames) with size points
+// per side, R seeded with seed and S with seed+1. size <= 0 means
+// 100_000; seed 0 means 1. srjserver layers its -load files on top of
+// this resolver so flags mean the same thing with and without files.
+func BuiltinDatasets(size int, seed uint64) func(name string) (R, S []Point, err error) {
+	if size <= 0 {
+		size = 100_000
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return func(name string) ([]Point, []Point, error) {
+		R, err := Generate(name, size, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		S, err := Generate(name, size, seed+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		return R, S, nil
+	}
+}
+
+// maxCachedDatasets bounds the dataset memo of NewServer: two point
+// sets per name can be large (~48*n bytes), and the memo sits outside
+// the engine MemoryBudget, so only this many names stay resolved.
+const maxCachedDatasets = 2
+
+// memoizeDatasets wraps a dataset resolver with a small LRU memo.
+// Concurrent resolutions of one name coalesce onto a single call.
+func memoizeDatasets(resolve func(name string) (R, S []Point, err error)) func(name string) (R, S []Point, err error) {
+	type entry struct {
+		once sync.Once
+		R, S []Point
+		err  error
+	}
+	var (
+		mu    sync.Mutex
+		cache = map[string]*entry{}
+		order []string // least recently used first
+	)
+	touch := func(name string) {
+		for i, n := range order {
+			if n == name {
+				order = append(append(order[:i:i], order[i+1:]...), name)
+				return
+			}
+		}
+		order = append(order, name)
+	}
+	return func(name string) ([]Point, []Point, error) {
+		mu.Lock()
+		e, ok := cache[name]
+		if !ok {
+			e = &entry{}
+			cache[name] = e
+			for len(cache) > maxCachedDatasets {
+				delete(cache, order[0])
+				order = order[1:]
+			}
+		}
+		touch(name)
+		mu.Unlock()
+		e.once.Do(func() { e.R, e.S, e.err = resolve(name) })
+		if e.err != nil {
+			mu.Lock()
+			if cache[name] == e {
+				delete(cache, name)
+				// Drop the name from the LRU order too, or a stream
+				// of distinct bad names would grow it without bound.
+				for i, n := range order {
+					if n == name {
+						order = append(order[:i:i], order[i+1:]...)
+						break
+					}
+				}
+			}
+			mu.Unlock()
+			return nil, nil, e.err
+		}
+		return e.R, e.S, nil
+	}
+}
+
+// knownAlgorithm reports whether name selects one of Algorithms.
+func knownAlgorithm(name string) bool {
+	for _, a := range Algorithms() {
+		if string(a) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
+
+// Warm builds (or touches) the engine for key so the first client
+// request pays no preprocessing.
+func (s *Server) Warm(ctx context.Context, key EngineKey) error {
+	_, err := s.reg.Get(ctx, key)
+	return err
+}
+
+// RegistryStats snapshots the engine cache counters.
+func (s *Server) RegistryStats() RegistryStats { return s.reg.Stats() }
+
+// Engines lists the resident engines, most recently used first.
+func (s *Server) Engines() []EngineInfo { return s.reg.Entries() }

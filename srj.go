@@ -40,6 +40,11 @@
 //	// or, allocation-free:
 //	n, err := eng.SampleInto(buf)
 //	fmt.Println(eng.Stats()) // requests, samples/sec inputs, latency
+//
+// The amortization also survives a process boundary: NewServer wraps
+// a memory-budgeted registry of engines in an HTTP API (the handler
+// behind cmd/srjserver) and NewClient draws samples from it over the
+// wire — see serve.go and examples/remote.
 package srj
 
 import (
@@ -76,6 +81,9 @@ var (
 	ErrEmptyJoin = core.ErrEmptyJoin
 	// ErrLowAcceptance reports an exhausted rejection budget.
 	ErrLowAcceptance = core.ErrLowAcceptance
+	// ErrSampleCap reports a request exceeding an Engine's per-request
+	// sample cap (see Engine.SetMaxT).
+	ErrSampleCap = engine.ErrSampleCap
 )
 
 // Algorithm selects the sampling algorithm.
@@ -267,6 +275,16 @@ func (e *Engine) SampleFunc(t int, fn func(batch []Pair) error) error {
 // Warm pre-creates n pooled sampler clones (typically one per
 // expected concurrent client) so no request pays construction cost.
 func (e *Engine) Warm(n int) error { return e.e.Warm(n) }
+
+// SetMaxT caps the number of samples a single request may ask for
+// (n <= 0 removes the cap). Requests over the cap fail with
+// ErrSampleCap before any allocation, so a single adversarial t
+// cannot OOM a serving process. srjserver sets this from its -maxt
+// flag on every engine it builds.
+func (e *Engine) SetMaxT(n int) { e.e.SetMaxT(n) }
+
+// MaxT reports the per-request sample cap (0 = unlimited).
+func (e *Engine) MaxT() int { return e.e.MaxT() }
 
 // Stats snapshots the aggregate request counters.
 func (e *Engine) Stats() EngineStats { return e.e.Stats() }
