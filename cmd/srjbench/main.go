@@ -19,16 +19,19 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	srj "repro"
@@ -41,8 +44,10 @@ var paperOrder = []string{"table2", "figure4", "accuracy", "table3", "table4",
 	"figure5", "figure6", "figure7", "figure8", "figure9"}
 
 // run executes srjbench with explicit arguments and output so tests
-// can drive it directly.
-func run(args []string, stdout io.Writer) error {
+// can drive it directly. Cancelling ctx (main wires it to SIGINT and
+// SIGTERM) stops the run cleanly between experiments and between
+// sampling batches, never mid-write.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("srjbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
@@ -86,9 +91,9 @@ func run(args []string, stdout io.Writer) error {
 			if baseSet {
 				return fmt.Errorf("-base has no effect with -remote: the dataset size is the server's -n; restart srjserver with the size you want to measure")
 			}
-			return runServeRemote(stdout, cfg, *remote)
+			return runServeRemote(ctx, stdout, cfg, *remote)
 		}
-		return runServe(stdout, cfg)
+		return runServe(ctx, stdout, cfg)
 	}
 
 	scale := exp.DefaultScale(*base)
@@ -114,6 +119,9 @@ func run(args []string, stdout io.Writer) error {
 		selected = strings.Split(*expList, ",")
 	}
 	for _, name := range selected {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		name = strings.TrimSpace(name)
 		runner, ok := runners[name]
 		if !ok {
@@ -152,8 +160,10 @@ type serveConfig struct {
 
 // hammer fans clients goroutines out, each issuing requests calls of
 // do, and returns the first error any client hit. Both serve modes
-// use it for their measured phase and their baseline.
-func hammer(clients, requests int, do func(client, req int) error) error {
+// use it for their measured phase and their baseline. A canceled ctx
+// stops every client between requests (the Source draws inside do
+// also honor it between batches).
+func hammer(ctx context.Context, clients, requests int, do func(client, req int) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, clients)
 	for i := 0; i < clients; i++ {
@@ -161,6 +171,10 @@ func hammer(clients, requests int, do func(client, req int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			for r := 0; r < requests; r++ {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
 				if err := do(i, r); err != nil {
 					errs[i] = err
 					return
@@ -178,10 +192,11 @@ func hammer(clients, requests int, do func(client, req int) error) error {
 }
 
 // runServe builds an Engine once and hammers it with clients×requests
-// concurrent sampling requests of reqT samples each, then reports the
-// aggregate throughput next to a rebuild-per-request baseline (what a
-// service calling the one-shot srj.Sample per query would pay).
-func runServe(stdout io.Writer, cfg serveConfig) error {
+// concurrent sampling requests of reqT samples each through the
+// Source API, then reports the aggregate throughput next to a
+// rebuild-per-request baseline (what a service calling the one-shot
+// srj.Sample per query would pay).
+func runServe(ctx context.Context, stdout io.Writer, cfg serveConfig) error {
 	if cfg.clients < 1 || cfg.requests < 1 || cfg.reqT < 1 {
 		return fmt.Errorf("serve mode needs positive -clients, -requests, -reqt")
 	}
@@ -217,8 +232,8 @@ func runServe(stdout io.Writer, cfg serveConfig) error {
 		bufs[i] = make([]srj.Pair, cfg.reqT)
 	}
 	start := time.Now()
-	if err := hammer(cfg.clients, cfg.requests, func(client, _ int) error {
-		_, err := eng.SampleInto(bufs[client])
+	if err := hammer(ctx, cfg.clients, cfg.requests, func(client, _ int) error {
+		_, err := eng.Draw(ctx, srj.Request{Into: bufs[client]})
 		return err
 	}); err != nil {
 		return err
@@ -239,7 +254,7 @@ func runServe(stdout io.Writer, cfg serveConfig) error {
 	// per client keep the baseline affordable while damping variance.
 	const baselineRequests = 2
 	rebuildStart := time.Now()
-	if err := hammer(cfg.clients, baselineRequests, func(_, _ int) error {
+	if err := hammer(ctx, cfg.clients, baselineRequests, func(_, _ int) error {
 		_, err := srj.Sample(R, S, cfg.l, cfg.reqT, opts)
 		return err
 	}); err != nil {
@@ -255,14 +270,16 @@ func runServe(stdout io.Writer, cfg serveConfig) error {
 	return nil
 }
 
-// runServeRemote benchmarks a running srjserver over the wire. The
+// runServeRemote benchmarks a running srjserver over the wire,
+// through the same Source API the local mode uses — the client bound
+// to one engine key is a drop-in for the in-process Engine. The
 // cached-engine path hammers one (dataset, l, algorithm, seed) key —
 // after the first request every one is a registry hit — then a
 // rebuild-per-request baseline gives every request a distinct seed,
 // forcing a registry miss and a full preprocessing pass per request.
 // The ratio is the network-served version of the paper's
 // amortization argument.
-func runServeRemote(stdout io.Writer, cfg serveConfig, base string) error {
+func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base string) error {
 	if cfg.clients < 1 || cfg.requests < 1 || cfg.reqT < 1 {
 		return fmt.Errorf("serve mode needs positive -clients, -requests, -reqt")
 	}
@@ -272,7 +289,6 @@ func runServeRemote(stdout io.Writer, cfg serveConfig, base string) error {
 	// idle connection per client goroutine — http.DefaultClient's two
 	// would churn TCP connections and understate cached throughput.
 	const requestTimeout = 5 * time.Minute
-	ctx := context.Background()
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	transport.MaxIdleConnsPerHost = cfg.clients
 	cl := srj.NewClientHTTP(base, &http.Client{Transport: transport})
@@ -285,21 +301,19 @@ func runServeRemote(stdout io.Writer, cfg serveConfig, base string) error {
 	fmt.Fprintf(stdout, "remote serve: %s algorithm=%s dataset=%s (server-side data) l=%g\n",
 		base, cfg.algo, cfg.dataset, cfg.l)
 
-	req := srj.SampleRequest{
+	key := srj.EngineKey{
 		Dataset:   cfg.dataset,
 		L:         cfg.l,
 		Algorithm: string(cfg.algo),
 		Seed:      cfg.seed,
-		T:         cfg.reqT,
 	}
+	src := cl.Bind(key)
 
 	// Warm the key so the timed section measures the cached path,
 	// exactly as the local mode builds its Engine outside the timer.
 	warmStart := time.Now()
-	warm := req
-	warm.T = 1
 	warmCtx, cancelWarm := context.WithTimeout(ctx, requestTimeout)
-	_, err = cl.Sample(warmCtx, warm)
+	_, err = src.Draw(warmCtx, srj.Request{T: 1})
 	cancelWarm()
 	if err != nil {
 		return err
@@ -310,10 +324,10 @@ func runServeRemote(stdout io.Writer, cfg serveConfig, base string) error {
 	fmt.Fprintf(stdout, "%d clients x %d requests x %d samples/request\n",
 		cfg.clients, cfg.requests, cfg.reqT)
 	start := time.Now()
-	if err := hammer(cfg.clients, cfg.requests, func(_, _ int) error {
+	if err := hammer(ctx, cfg.clients, cfg.requests, func(_, _ int) error {
 		reqCtx, cancel := context.WithTimeout(ctx, requestTimeout)
 		defer cancel()
-		return cl.SampleFunc(reqCtx, req, func([]srj.Pair) error { return nil })
+		return src.DrawFunc(reqCtx, srj.Request{T: cfg.reqT}, func([]srj.Pair) error { return nil })
 	}); err != nil {
 		return err
 	}
@@ -338,11 +352,14 @@ func runServeRemote(stdout io.Writer, cfg serveConfig, base string) error {
 	// long-lived server's cache; evict whatever was inserted on every
 	// exit path, failed baselines included.
 	defer func() {
-		evictCtx, cancelEvict := context.WithTimeout(ctx, time.Minute)
+		// Eviction must run even when ctx was canceled — that is the
+		// Ctrl-C path, and it must not strand throwaway engines.
+		evictCtx, cancelEvict := context.WithTimeout(context.WithoutCancel(ctx), time.Minute)
 		defer cancelEvict()
 		evicted := 0
 		for i := uint64(1); i <= seedCounter.Load(); i++ {
-			bkey := srj.EngineKey{Dataset: req.Dataset, L: req.L, Algorithm: req.Algorithm, Seed: seedBase + i}
+			bkey := key
+			bkey.Seed = seedBase + i
 			ok, err := cl.EvictEngine(evictCtx, bkey)
 			if err != nil {
 				// Keep going: one failed eviction must not strand the
@@ -357,12 +374,12 @@ func runServeRemote(stdout io.Writer, cfg serveConfig, base string) error {
 		fmt.Fprintf(stdout, "evicted %d baseline engines from the server cache\n", evicted)
 	}()
 	rebuildStart := time.Now()
-	if err := hammer(cfg.clients, baselineRequests, func(_, _ int) error {
-		breq := req
-		breq.Seed = seedBase + seedCounter.Add(1)
+	if err := hammer(ctx, cfg.clients, baselineRequests, func(_, _ int) error {
+		bkey := key
+		bkey.Seed = seedBase + seedCounter.Add(1)
 		reqCtx, cancel := context.WithTimeout(ctx, requestTimeout)
 		defer cancel()
-		return cl.SampleFunc(reqCtx, breq, func([]srj.Pair) error { return nil })
+		return cl.Bind(bkey).DrawFunc(reqCtx, srj.Request{T: cfg.reqT}, func([]srj.Pair) error { return nil })
 	}); err != nil {
 		return err
 	}
@@ -387,7 +404,13 @@ func runServeRemote(stdout io.Writer, cfg serveConfig, base string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "srjbench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "srjbench: %v\n", err)
 		os.Exit(1)
 	}

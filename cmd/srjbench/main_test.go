@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -11,7 +13,7 @@ import (
 
 func TestList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range paperOrder {
@@ -23,7 +25,7 @@ func TestList(t *testing.T) {
 
 func TestRunSelectedExperiment(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-base", "1500", "-t", "300", "-exp", "table2,figure9"}, &out)
+	err := run(context.Background(), []string{"-base", "1500", "-t", "300", "-exp", "table2,figure9"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,14 +39,14 @@ func TestRunSelectedExperiment(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-exp", "tableX"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-exp", "tableX"}, &out); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
 }
 
 func TestServeMode(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-serve", "-base", "2000", "-clients", "4",
+	err := run(context.Background(), []string{"-serve", "-base", "2000", "-clients", "4",
 		"-requests", "5", "-reqt", "200"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -74,7 +76,7 @@ func TestServeModeRemote(t *testing.T) {
 	defer ts.Close()
 
 	var out bytes.Buffer
-	err = run([]string{"-serve", "-remote", ts.URL, "-dataset", "uniform",
+	err = run(context.Background(), []string{"-serve", "-remote", ts.URL, "-dataset", "uniform",
 		"-l", "200", "-clients", "4", "-requests", "5", "-reqt", "200"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +114,7 @@ func TestServeModeRemote(t *testing.T) {
 // rather than a silently wrong benchmark.
 func TestServeModeRemoteRejectsBase(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-serve", "-remote", "http://127.0.0.1:1", "-base", "50000"}, &out)
+	err := run(context.Background(), []string{"-serve", "-remote", "http://127.0.0.1:1", "-base", "50000"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "-base has no effect") {
 		t.Fatalf("err = %v", err)
 	}
@@ -120,41 +122,55 @@ func TestServeModeRemoteRejectsBase(t *testing.T) {
 
 func TestServeModeRemoteUnreachable(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-serve", "-remote", "http://127.0.0.1:1", "-requests", "1"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-serve", "-remote", "http://127.0.0.1:1", "-requests", "1"}, &out); err == nil {
 		t.Error("unreachable server should fail")
 	}
 }
 
 func TestServeModeErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-serve", "-clients", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-serve", "-clients", "0"}, &out); err == nil {
 		t.Error("zero clients should fail")
 	}
-	if err := run([]string{"-serve", "-dataset", "nope", "-base", "100"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-serve", "-dataset", "nope", "-base", "100"}, &out); err == nil {
 		t.Error("unknown dataset should fail")
 	}
-	if err := run([]string{"-serve", "-algo", "nope", "-base", "100"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-serve", "-algo", "nope", "-base", "100"}, &out); err == nil {
 		t.Error("unknown algorithm should fail")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &out); err == nil {
 		t.Fatal("bad flag should fail")
 	}
 }
 
 func TestCSVFormat(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-base", "1500", "-t", "200", "-exp", "table2", "-format", "csv"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-base", "1500", "-t", "200", "-exp", "table2", "-format", "csv"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "dataset,KDS,BBST") {
 		t.Fatalf("csv header missing:\n%s", out.String())
 	}
 	var bad bytes.Buffer
-	if err := run([]string{"-exp", "table2", "-format", "xml"}, &bad); err == nil {
+	if err := run(context.Background(), []string{"-exp", "table2", "-format", "xml"}, &bad); err == nil {
 		t.Fatal("unknown format should fail")
+	}
+}
+
+// TestRunCanceled: a canceled context (the Ctrl-C path) stops the
+// run between experiments with ctx.Err, not a partial render.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-base", "1500", "-t", "200", "-exp", "table2"}, &out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := run(ctx, []string{"-serve", "-base", "2000", "-clients", "2", "-requests", "2", "-reqt", "100"}, &out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serve mode: err = %v, want context.Canceled", err)
 	}
 }

@@ -12,11 +12,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	srj "repro"
 )
@@ -29,9 +33,16 @@ func algoNames() string {
 	return strings.Join(names, ", ")
 }
 
+// csvBatch is the draw granularity of the single-worker path: output
+// is flushed per batch and the context is checked between batches, so
+// Ctrl-C stops the run at a line boundary, never mid-write.
+const csvBatch = 8192
+
 // run executes srjsample with explicit arguments and streams so tests
-// can drive it directly.
-func run(args []string, stdout, stderr io.Writer) error {
+// can drive it directly. Cancelling ctx (main wires it to SIGINT and
+// SIGTERM) stops sampling between batches and flushes the lines
+// already written.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("srjsample", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -51,6 +62,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *rPath == "" || *sPath == "" {
 		return fmt.Errorf("-r and -s are required (see -h)")
+	}
+	// The batched draw loop below would silently treat a negative -t
+	// as "draw nothing"; refuse it up front the way the samplers do.
+	if *t < 0 {
+		return fmt.Errorf("-t must be >= 0, got %d", *t)
 	}
 	R, err := srj.LoadPoints(*rPath)
 	if err != nil {
@@ -72,29 +88,68 @@ func run(args []string, stdout, stderr io.Writer) error {
 		WithoutReplacement:  *noRepl,
 		FractionalCascading: *fc,
 	}
-	var pairs []srj.Pair
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := bufio.NewWriter(stdout)
+	writeBatch := func(pairs []srj.Pair) error {
+		for _, p := range pairs {
+			fmt.Fprintf(w, "%d,%g,%g,%d,%g,%g\n", p.R.ID, p.R.X, p.R.Y, p.S.ID, p.S.X, p.S.Y)
+		}
+		return w.Flush()
+	}
 	var sampler srj.Sampler
 	if *workers > 1 {
-		pairs, err = srj.SampleParallel(R, S, *l, *t, *workers, opts)
+		// The parallel path materializes all samples before writing;
+		// cancellation takes effect at the write-batch boundaries.
+		pairs, err := srj.SampleParallel(R, S, *l, *t, *workers, opts)
 		if err != nil {
 			return err
+		}
+		for off := 0; off < len(pairs); off += csvBatch {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			end := off + csvBatch
+			if end > len(pairs) {
+				end = len(pairs)
+			}
+			if err := writeBatch(pairs[off:end]); err != nil {
+				return err
+			}
 		}
 	} else {
 		sampler, err = srj.NewSampler(R, S, *l, opts)
 		if err != nil {
 			return err
 		}
-		pairs, err = sampler.Sample(*t)
-		if err != nil && len(pairs) == 0 {
-			return err
+		// Draw and emit in batches: constant memory however large -t
+		// is, and a context check between batches.
+		buf := make([]srj.Pair, csvBatch)
+		drawn := 0
+		for drawn < *t {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			batch := buf
+			if rem := *t - drawn; rem < len(batch) {
+				batch = batch[:rem]
+			}
+			n, serr := srj.SampleInto(sampler, batch)
+			drawn += n
+			if err := writeBatch(batch[:n]); err != nil {
+				return err
+			}
+			if serr != nil {
+				// Without replacement, exhausting J surfaces as a
+				// rejection-budget error once some samples were drawn;
+				// emit what exists, as Sample(t) would.
+				if drawn > 0 {
+					break
+				}
+				return serr
+			}
 		}
-	}
-	w := bufio.NewWriter(stdout)
-	for _, p := range pairs {
-		fmt.Fprintf(w, "%d,%g,%g,%d,%g,%g\n", p.R.ID, p.R.X, p.R.Y, p.S.ID, p.S.X, p.S.Y)
-	}
-	if err := w.Flush(); err != nil {
-		return err
 	}
 	if *stats && sampler != nil {
 		st := sampler.Stats()
@@ -113,7 +168,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "srjsample: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "srjsample: %v\n", err)
 		os.Exit(1)
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -51,7 +53,7 @@ func TestSampleAllAlgorithms(t *testing.T) {
 	for _, algo := range srj.Algorithms() {
 		t.Run(string(algo), func(t *testing.T) {
 			var out, errBuf bytes.Buffer
-			err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-algo", string(algo)}, &out, &errBuf)
+			err := run(context.Background(), []string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-algo", string(algo)}, &out, &errBuf)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,7 +67,7 @@ func TestSampleAllAlgorithms(t *testing.T) {
 func TestSampleStatsFlag(t *testing.T) {
 	rPath, sPath := writeInputs(t)
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "50", "-stats"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "50", "-stats"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"algorithm", "iterations", "sampling", "Σµ"} {
@@ -78,7 +80,7 @@ func TestSampleStatsFlag(t *testing.T) {
 func TestSampleParallelWorkers(t *testing.T) {
 	rPath, sPath := writeInputs(t)
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "200", "-workers", "4"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "200", "-workers", "4"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	if n := parseCSV(t, out.String()); n != 200 {
@@ -89,10 +91,10 @@ func TestSampleParallelWorkers(t *testing.T) {
 func TestSampleFractionalCascading(t *testing.T) {
 	rPath, sPath := writeInputs(t)
 	var plain, fc, errBuf bytes.Buffer
-	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-seed", "9"}, &plain, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-seed", "9"}, &plain, &errBuf); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-seed", "9", "-fc"}, &fc, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-seed", "9", "-fc"}, &fc, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != fc.String() {
@@ -112,7 +114,7 @@ func TestSampleErrors(t *testing.T) {
 		{"-r", rPath, "-s", sPath, "-algo", "x"}, // unknown algorithm
 	}
 	for _, args := range cases {
-		if err := run(args, &out, &errBuf); err == nil {
+		if err := run(context.Background(), args, &out, &errBuf); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
 	}
@@ -121,7 +123,7 @@ func TestSampleErrors(t *testing.T) {
 func TestSampleWithoutReplacementFlag(t *testing.T) {
 	rPath, sPath := writeInputs(t)
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-without-replacement"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100", "-without-replacement"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -133,5 +135,39 @@ func TestSampleWithoutReplacementFlag(t *testing.T) {
 			t.Fatalf("duplicate pair %s with -without-replacement", key)
 		}
 		seen[key] = true
+	}
+}
+
+// TestSampleCanceled: a canceled context (the Ctrl-C path) stops the
+// draw between batches with ctx.Err, leaving only whole CSV lines.
+func TestSampleCanceled(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errBuf bytes.Buffer
+	err := run(ctx, []string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "100000"}, &out, &errBuf)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := out.String(); s != "" && !strings.HasSuffix(s, "\n") {
+		t.Fatal("cancellation left a partial CSV line")
+	}
+	// The parallel path honors cancellation too.
+	err = run(ctx, []string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "1000", "-workers", "4"}, &out, &errBuf)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("workers: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSampleNegativeT: a negative -t is refused up front, not
+// silently treated as an empty draw.
+func TestSampleNegativeT(t *testing.T) {
+	rPath, sPath := writeInputs(t)
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-r", rPath, "-s", sPath, "-l", "200", "-t", "-5"}, &out, &errBuf); err == nil {
+		t.Fatal("negative -t accepted")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("negative -t wrote output: %q", out.String())
 	}
 }

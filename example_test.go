@@ -1,6 +1,7 @@
 package srj_test
 
 import (
+	"context"
 	"fmt"
 
 	srj "repro"
@@ -48,6 +49,50 @@ func ExampleSampler_Next() {
 	}
 	fmt.Println(seen, "samples drawn on demand")
 	// Output: 100 samples drawn on demand
+}
+
+// ExampleEngine_Draw shows the Source API: build the structures once,
+// then serve any number of requests — cancellable, optionally seeded
+// for reproducibility, optionally allocation-free via Request.Into.
+// A srj.Client bound to an engine key serves the identical contract
+// over HTTP.
+func ExampleEngine_Draw() {
+	R := srj.MustGenerate("uniform", 1000, 1)
+	S := srj.MustGenerate("uniform", 1000, 2)
+	eng, err := srj.NewEngine(R, S, 500, &srj.Options{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	// Seeded draws are reproducible whatever traffic is interleaved.
+	a, err := eng.Draw(ctx, srj.Request{T: 50, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := eng.Draw(ctx, srj.Request{T: 999}); err != nil { // other traffic
+		panic(err)
+	}
+	b, err := eng.Draw(ctx, srj.Request{T: 50, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	same := a.Count() == b.Count()
+	for i := range a.Pairs {
+		same = same && a.Pairs[i] == b.Pairs[i]
+	}
+	fmt.Println("reproducible:", same)
+
+	// Reusing a buffer makes the steady state allocation-free.
+	buf := make([]srj.Pair, 100)
+	res, err := eng.Draw(ctx, srj.Request{Into: buf})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("drawn into buffer:", res.Count())
+	// Output:
+	// reproducible: true
+	// drawn into buffer: 100
 }
 
 // ExampleJoinSize shows exact join-size computation (plane sweep),

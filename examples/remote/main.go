@@ -52,36 +52,42 @@ func main() {
 	if err := cl.Health(ctx); err != nil {
 		log.Fatal(err)
 	}
-	req := srj.SampleRequest{Dataset: "nyc", L: 100, Algorithm: "bbst", Seed: 1, T: 100_000}
+
+	// Bind the client to one engine key and it becomes a srj.Source —
+	// the same Draw/DrawFunc contract the in-process srj.Engine
+	// serves, so everything below would run unchanged against a local
+	// engine.
+	src := cl.Bind(srj.EngineKey{Dataset: "nyc", L: 100, Algorithm: "bbst", Seed: 1})
 
 	// Request 1: a registry miss — the server builds the BBST for
 	// (nyc, 100, bbst, 1) and then streams the samples.
 	start := time.Now()
-	pairs, err := cl.Sample(ctx, req)
+	res, err := src.Draw(ctx, srj.Request{T: 100_000})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("cold request: %d samples in %v (includes the one-time build)\n",
-		len(pairs), time.Since(start).Round(time.Millisecond))
+		res.Count(), time.Since(start).Round(time.Millisecond))
 
 	// Request 2: the same key is a cache hit; only sampling and the
-	// wire remain.
+	// wire remain. A nonzero Request.Seed makes the draw reproducible:
+	// repeating it returns these exact samples.
 	start = time.Now()
-	pairs, err = cl.Sample(ctx, req)
+	res, err = src.Draw(ctx, srj.Request{T: 100_000, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
 	warm := time.Since(start)
-	fmt.Printf("warm request: %d samples in %v\n", len(pairs), warm.Round(time.Millisecond))
+	fmt.Printf("warm request: %d samples in %v\n", res.Count(), warm.Round(time.Millisecond))
 
 	// Large transfers can stream with constant client memory: batches
-	// arrive as the server draws them.
+	// arrive as the server draws them, and cancelling ctx mid-stream
+	// would stop both sides promptly.
 	var streamed int
-	err = cl.SampleFunc(ctx, srj.SampleRequest{Dataset: "nyc", L: 100, Seed: 1, T: 500_000},
-		func(batch []srj.Pair) error {
-			streamed += len(batch)
-			return nil
-		})
+	err = src.DrawFunc(ctx, srj.Request{T: 500_000}, func(batch []srj.Pair) error {
+		streamed += len(batch)
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,8 +5,9 @@
 // sampling queries over the same R, S, and l (think a dashboard
 // estimating join aggregates, or a training-data endpoint feeding
 // learned cardinality estimators). srj.Engine builds the structures
-// once; every request then checks a pooled sampler clone out, draws
-// through the zero-allocation SampleInto path, and puts it back.
+// once; every request then draws through the context-first Source
+// API — Draw with a reused Request.Into buffer is the
+// zero-allocation hot path over a pooled sampler clone.
 //
 // Run with:
 //
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -45,9 +47,11 @@ func main() {
 		time.Since(start).Round(time.Millisecond),
 		float64(eng.SizeBytes())/(1<<20), eng.Algorithm())
 
-	// Serve. Every goroutine reuses one request buffer: the engine's
-	// SampleInto path allocates nothing per request, so the steady
-	// state is pure sampling.
+	// Serve. Every goroutine reuses one request buffer: Draw with
+	// Request.Into allocates nothing per request, so the steady state
+	// is pure sampling. The context would let a server cancel
+	// in-flight draws; a batch job just passes Background.
+	ctx := context.Background()
 	start = time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
@@ -56,7 +60,7 @@ func main() {
 			defer wg.Done()
 			buf := make([]srj.Pair, perRequest)
 			for req := 0; req < requests; req++ {
-				if _, err := eng.SampleInto(buf); err != nil {
+				if _, err := eng.Draw(ctx, srj.Request{Into: buf}); err != nil {
 					log.Fatal(err)
 				}
 			}

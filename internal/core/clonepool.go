@@ -60,22 +60,43 @@ func NewClonePool(parent Cloner, seed uint64) (*ClonePool, error) {
 	return p, nil
 }
 
+// idleOrClone returns an idle pooled clone, or creates one under the
+// lock (Clone advances the parent's RNG state). The returned clone
+// still carries its previous stream; callers reseed it.
+func (p *ClonePool) idleOrClone() (Sampler, error) {
+	if v := p.pool.Get(); v != nil {
+		return v.(Sampler), nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.parent.Clone()
+}
+
 // Get checks a clone out of the pool — creating one when no idle clone
 // is available — and gives it a fresh independent random stream.
 // Exactly one seed is consumed from the pool's sequence per call,
 // whether or not a clone had to be created.
 func (p *ClonePool) Get() (Sampler, error) {
-	var s Sampler
-	if v := p.pool.Get(); v != nil {
-		s = v.(Sampler)
-	}
+	s, err := p.idleOrClone()
 	p.mu.Lock()
-	var err error
-	if s == nil {
-		s, err = p.parent.Clone()
-	}
 	seed := p.seq.Uint64()
 	p.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.(reseeder).reseed(seed)
+	return s, nil
+}
+
+// GetSeeded is Get with a caller-chosen stream seed: the checked-out
+// clone is reseeded with seed instead of the pool's sequence, so two
+// checkouts with equal seeds draw identical sample sequences — the
+// determinism hook behind per-request seeds in the serving layer.
+// Unlike Get, it consumes nothing from the pool's seed sequence, so
+// seeded checkouts never perturb the reproducibility of the unseeded
+// request stream interleaved with them.
+func (p *ClonePool) GetSeeded(seed uint64) (Sampler, error) {
+	s, err := p.idleOrClone()
 	if err != nil {
 		return nil, err
 	}

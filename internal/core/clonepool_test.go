@@ -118,6 +118,64 @@ func TestClonePoolStreamsDiffer(t *testing.T) {
 	}
 }
 
+// TestClonePoolGetSeeded: seeded checkouts draw identical sequences
+// for equal seeds, and consume nothing from the pool's own seed
+// sequence — unseeded traffic stays reproducible around them.
+func TestClonePoolGetSeeded(t *testing.T) {
+	p1, _, _, _ := newPoolBBST(t, 42)
+	p2, _, _, _ := newPoolBBST(t, 42)
+
+	draw := func(p *ClonePool, seeded bool, seed uint64) []geom.Pair {
+		t.Helper()
+		var (
+			s   Sampler
+			err error
+		)
+		if seeded {
+			s, err = p.GetSeeded(seed)
+		} else {
+			s, err = p.Get()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs, err := s.Sample(150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Put(s)
+		return pairs
+	}
+	equal := func(a, b []geom.Pair) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return len(a) == len(b)
+	}
+
+	// Equal seeds ⇒ equal sequences, on the same pool and across pools.
+	a := draw(p1, true, 77)
+	b := draw(p1, true, 77)
+	if !equal(a, b) {
+		t.Fatal("equal seeds diverged on one pool")
+	}
+	if c := draw(p2, true, 77); !equal(a, c) {
+		t.Fatal("equal seeds diverged across pools")
+	}
+	if d := draw(p1, true, 78); equal(a, d) {
+		t.Fatal("distinct seeds drew identical sequences")
+	}
+
+	// p1 served three seeded checkouts p2 never saw; the unseeded
+	// sequences of the two pools must nevertheless still agree.
+	u1, u2 := draw(p1, false, 0), draw(p2, false, 0)
+	if !equal(u1, u2) {
+		t.Fatal("seeded checkouts perturbed the unseeded sequence")
+	}
+}
+
 // TestClonePoolConcurrentStress hammers one pool from many goroutines
 // (run with -race: the shared structures must be read-only).
 func TestClonePoolConcurrentStress(t *testing.T) {

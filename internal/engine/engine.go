@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -34,6 +35,81 @@ const DefaultBatch = 4096
 // treat this as a client error (it counts toward
 // Stats.ClientFailures).
 var ErrSampleCap = errors.New("engine: sample count exceeds the per-request cap")
+
+// ErrBadRequest marks requests that are malformed independent of any
+// configured cap: a non-positive sample count, or an Into buffer too
+// small for the count requested. Servers map it to HTTP 400; it counts
+// toward Stats.ClientFailures.
+var ErrBadRequest = errors.New("engine: bad request")
+
+// Request carries the per-request parameters of one Draw or DrawFunc.
+// It is the request half of the Source contract (the root package
+// re-exports it as srj.Request): the same struct parameterizes local
+// and remote draws, and Resolve/ResolveStream are the single
+// validation both sides apply, so malformed requests are rejected
+// identically everywhere.
+type Request struct {
+	// T is the number of samples to draw. Zero with a non-nil Into
+	// means len(Into); otherwise T must be positive.
+	T int
+	// Seed, when nonzero, makes the draw reproducible: the request is
+	// served from a stream seeded with it, so equal (built structures,
+	// Seed) pairs yield identical samples, whatever traffic is
+	// interleaved — locally and over the wire (where it travels as
+	// draw_seed). Zero draws from the source's own sequence: fresh
+	// independent samples per request.
+	Seed uint64
+	// Into, when non-nil, receives the samples in place — the
+	// zero-allocation path for Draw. It must hold at least T pairs
+	// (ErrBadRequest otherwise). DrawFunc streams through its own
+	// batches and uses Into only to default T.
+	Into []geom.Pair
+}
+
+// Resolve validates the request for a buffered draw and returns the
+// effective sample count: T, or len(Into) when T is zero and a
+// buffer was given. Errors wrap ErrBadRequest.
+func (r Request) Resolve() (int, error) {
+	t, err := r.ResolveStream()
+	if err != nil {
+		return 0, err
+	}
+	if r.Into != nil && len(r.Into) < t {
+		return 0, fmt.Errorf("%w: Into holds %d pairs, %d requested", ErrBadRequest, len(r.Into), t)
+	}
+	return t, nil
+}
+
+// ResolveStream is Resolve for streaming draws: Into still defaults
+// T when T is zero, but its length is not validated — DrawFunc never
+// writes into it, so a Request built for Draw streams unchanged.
+func (r Request) ResolveStream() (int, error) {
+	t := r.T
+	if t == 0 && r.Into != nil {
+		t = len(r.Into)
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("%w: non-positive sample count %d", ErrBadRequest, t)
+	}
+	return t, nil
+}
+
+// Result is the answer to one Draw: the samples plus per-request
+// stats. The root package re-exports it as srj.Result.
+type Result struct {
+	// Pairs holds the drawn samples — backed by Request.Into when one
+	// was provided. On error it holds the samples drawn before the
+	// failure.
+	Pairs []geom.Pair
+	// Elapsed is the request latency as this source observed it: for
+	// an engine the full in-process request (clone checkout, sampling,
+	// return to the pool); for a remote client the wall-clock of the
+	// network call.
+	Elapsed time.Duration
+}
+
+// Count returns the number of samples drawn.
+func (r Result) Count() int { return len(r.Pairs) }
 
 // Stats aggregates the request-level counters of an Engine. All
 // durations cover the full request — clone checkout, sampling, and
@@ -131,16 +207,22 @@ func (e *Engine) SetMaxT(n int) {
 // MaxT reports the per-request sample cap (0 = unlimited).
 func (e *Engine) MaxT() int { return int(e.maxT.Load()) }
 
-// checkT validates a requested sample count against the cap. The
+// capT rejects an effective sample count beyond the SetMaxT cap. The
 // returned error is a client error for Stats purposes.
-func (e *Engine) checkT(t int) error {
-	if t < 0 {
-		return fmt.Errorf("engine: negative sample count %d", t)
-	}
+func (e *Engine) capT(t int) error {
 	if maxT := e.maxT.Load(); maxT > 0 && int64(t) > maxT {
 		return fmt.Errorf("%w: t=%d > cap %d", ErrSampleCap, t, maxT)
 	}
 	return nil
+}
+
+// checkout obtains a pooled clone: seeded with the request's own seed
+// when one was given, from the pool's per-checkout sequence otherwise.
+func (e *Engine) checkout(seed uint64) (core.Sampler, error) {
+	if seed != 0 {
+		return e.pool.GetSeeded(seed)
+	}
+	return e.pool.Get()
 }
 
 // SizeBytes estimates the retained footprint of the shared structures
@@ -151,52 +233,89 @@ func (e *Engine) SizeBytes() int { return e.size }
 // concurrent client, so no request pays clone-construction cost.
 func (e *Engine) Warm(n int) error { return e.pool.Warm(n) }
 
-// SampleInto serves one request: it draws len(dst) uniform independent
-// join samples into the caller's buffer and returns the number
-// written. This is the zero-allocation hot path — steady state, the
-// only allocation-free way to drain samples from a shared Engine.
-func (e *Engine) SampleInto(dst []geom.Pair) (int, error) {
+// Draw serves one request: it draws req.T uniform independent join
+// samples (into req.Into when provided — the zero-allocation hot
+// path — a fresh slice otherwise) and returns them with per-request
+// stats. The request is rejected before any allocation when it is
+// malformed (ErrBadRequest) or exceeds the SetMaxT cap (ErrSampleCap).
+// ctx is checked between DefaultBatch-sized chunks, so cancellation
+// stops an in-flight draw promptly; the partial result drawn so far
+// is returned alongside ctx.Err().
+func (e *Engine) Draw(ctx context.Context, req Request) (Result, error) {
 	start := time.Now()
-	s, err := e.pool.Get()
+	t, err := req.Resolve()
+	if err == nil {
+		err = e.capT(t)
+	}
+	if err != nil {
+		e.record(start, 0, err)
+		return Result{Elapsed: time.Since(start)}, err
+	}
+	dst := req.Into
+	if dst == nil {
+		dst = make([]geom.Pair, t)
+	}
+	dst = dst[:t]
+	n, err := e.drawInto(ctx, start, req.Seed, dst)
+	return Result{Pairs: dst[:n], Elapsed: time.Since(start)}, err
+}
+
+// drawInto fills dst through a pooled clone, checking ctx between
+// chunks, and folds the finished request into the stats. It is the
+// shared core of Draw and the deprecated SampleInto shim.
+func (e *Engine) drawInto(ctx context.Context, start time.Time, seed uint64, dst []geom.Pair) (int, error) {
+	if err := ctx.Err(); err != nil {
+		e.record(start, 0, err)
+		return 0, err
+	}
+	s, err := e.checkout(seed)
 	if err != nil {
 		e.record(start, 0, err)
 		return 0, err
 	}
-	n, err := core.SampleInto(s, dst)
-	e.pool.Put(s)
-	e.record(start, n, err)
-	return n, err
-}
-
-// Sample serves one request for t samples into a fresh slice. The
-// request is rejected — before the slice is allocated — when t is
-// negative or exceeds the SetMaxT cap, so no request can force an
-// unbounded allocation.
-func (e *Engine) Sample(t int) ([]geom.Pair, error) {
-	if err := e.checkT(t); err != nil {
-		e.record(time.Now(), 0, err)
-		return nil, err
+	drawn := 0
+	for drawn < len(dst) && err == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		end := drawn + DefaultBatch
+		if end > len(dst) {
+			end = len(dst)
+		}
+		var n int
+		n, err = core.SampleInto(s, dst[drawn:end])
+		drawn += n
 	}
-	dst := make([]geom.Pair, t)
-	n, err := e.SampleInto(dst)
-	return dst[:n], err
+	e.pool.Put(s)
+	e.record(start, drawn, err)
+	return drawn, err
 }
 
-// SampleFunc serves one request for t samples by streaming them
+// DrawFunc serves one request for req.T samples by streaming them
 // through a pooled batch buffer: fn is invoked with successive batches
 // (DefaultBatch pairs, the final one shorter) whose backing array is
 // reused across batches and requests — fn must not retain it. An
-// error from fn aborts the request and is returned verbatim.
-func (e *Engine) SampleFunc(t int, fn func(batch []geom.Pair) error) error {
-	if err := e.checkT(t); err != nil {
-		e.record(time.Now(), 0, err)
+// error from fn aborts the request and is returned verbatim. ctx is
+// checked between batches: a context canceled mid-stream stops the
+// draw promptly and returns ctx.Err(). req.Into never receives
+// samples — it only defaults T (see Request.ResolveStream), so a
+// Request built for Draw streams unchanged.
+func (e *Engine) DrawFunc(ctx context.Context, req Request, fn func(batch []geom.Pair) error) error {
+	start := time.Now()
+	t, err := req.ResolveStream()
+	if err == nil {
+		err = e.capT(t)
+	}
+	if err != nil {
+		e.record(start, 0, err)
 		return err
 	}
-	if t == 0 {
-		return nil
+	if err := ctx.Err(); err != nil {
+		e.record(start, 0, err)
+		return err
 	}
-	start := time.Now()
-	s, err := e.pool.Get()
+	s, err := e.checkout(req.Seed)
 	if err != nil {
 		e.record(start, 0, err)
 		return err
@@ -204,6 +323,10 @@ func (e *Engine) SampleFunc(t int, fn func(batch []geom.Pair) error) error {
 	buf := e.buffers.Get().(*[]geom.Pair)
 	drawn := 0
 	for drawn < t && err == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
 		batch := *buf
 		if rem := t - drawn; rem < len(batch) {
 			batch = batch[:rem]
@@ -221,6 +344,44 @@ func (e *Engine) SampleFunc(t int, fn func(batch []geom.Pair) error) error {
 	e.pool.Put(s)
 	e.record(start, drawn, err)
 	return err
+}
+
+// SampleInto serves one request: it draws len(dst) uniform independent
+// join samples into the caller's buffer and returns the number
+// written. It backs the root package's deprecated Engine.SampleInto
+// shim; new code uses Draw with Request.Into. An empty dst returns
+// immediately without checking out a clone or counting a request in
+// Stats (the pre-Source implementation counted it).
+func (e *Engine) SampleInto(dst []geom.Pair) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	return e.drawInto(context.Background(), time.Now(), 0, dst)
+}
+
+// Sample serves one request for t samples into a fresh slice. The
+// request is rejected — before the slice is allocated — when t is
+// negative or exceeds the SetMaxT cap, so no request can force an
+// unbounded allocation. It backs the root package's deprecated
+// Engine.Sample shim; new code uses Draw. t == 0 returns immediately
+// without checking out a clone or counting a request in Stats (the
+// pre-Source implementation counted it).
+func (e *Engine) Sample(t int) ([]geom.Pair, error) {
+	if t == 0 {
+		return nil, nil
+	}
+	res, err := e.Draw(context.Background(), Request{T: t})
+	return res.Pairs, err
+}
+
+// SampleFunc serves one request for t samples, streaming them to fn
+// in pooled batches. It backs the root package's deprecated
+// Engine.SampleFunc shim; new code uses DrawFunc.
+func (e *Engine) SampleFunc(t int, fn func(batch []geom.Pair) error) error {
+	if t == 0 {
+		return nil
+	}
+	return e.DrawFunc(context.Background(), Request{T: t}, fn)
 }
 
 // record folds one finished request into the aggregate counters.

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -277,6 +279,149 @@ func TestEngineFailureClassification(t *testing.T) {
 	}
 	if st := le.Stats(); st.SamplerFailures != 1 || st.ClientFailures != 0 {
 		t.Fatalf("sampler error misclassified: %+v", st)
+	}
+}
+
+// TestEngineDrawSeeded: a nonzero Request.Seed pins the request's
+// stream — identical samples for equal seeds regardless of the
+// traffic interleaved between them — without perturbing the engine's
+// own per-checkout sequence.
+func TestEngineDrawSeeded(t *testing.T) {
+	e1, l := newTestEngine(t, 31)
+	e2, _ := newTestEngine(t, 31)
+	ctx := context.Background()
+
+	a, err := e1.Draw(ctx, Request{T: 500, Seed: 9001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a.Pairs {
+		if !geom.InWindow(p.R, p.S, l) {
+			t.Fatalf("invalid pair %v", p)
+		}
+	}
+	// Interleave unseeded traffic on e1 only.
+	for i := 0; i < 3; i++ {
+		if _, err := e1.Draw(ctx, Request{T: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := e1.Draw(ctx, Request{T: 500, Seed: 9001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("equal seeds diverged at sample %d", i)
+		}
+	}
+	// e1 has served two seeded and three unseeded requests, e2 none;
+	// only the unseeded ones consumed pool seeds, so e1's next draw is
+	// its 4th unseeded checkout. Skip three on e2 and the sequences
+	// must line up.
+	for i := 0; i < 3; i++ {
+		if _, err := e2.Draw(ctx, Request{T: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u1, err := e1.Draw(ctx, Request{T: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := e2.Draw(ctx, Request{T: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u1.Pairs {
+		if u1.Pairs[i] != u2.Pairs[i] {
+			t.Fatalf("seeded draws perturbed the unseeded sequence (sample %d)", i)
+		}
+	}
+}
+
+// TestEngineDrawCancellation: a context canceled between batches
+// stops the draw promptly, returns ctx.Err(), keeps the partial
+// result, and counts as a client failure.
+func TestEngineDrawCancellation(t *testing.T) {
+	e, _ := newTestEngine(t, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Draw(ctx, Request{T: 10}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Draw: err = %v", err)
+	}
+	if err := e.DrawFunc(ctx, Request{T: 10}, func([]geom.Pair) error {
+		t.Error("fn called under a canceled context")
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled DrawFunc: err = %v", err)
+	}
+
+	// Cancel from inside the first batch: the loop must stop there.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	const want = DefaultBatch * 50
+	batches := 0
+	err := e.DrawFunc(ctx2, Request{T: want}, func(batch []geom.Pair) error {
+		batches++
+		cancel2()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-stream cancel: err = %v", err)
+	}
+	if batches != 1 {
+		t.Fatalf("draw continued for %d batches after cancellation", batches)
+	}
+
+	// Draw under a canceled context returns the (empty) partial result
+	// without sampling.
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	cancel3()
+	buf := make([]geom.Pair, DefaultBatch*3)
+	res, err := e.Draw(ctx3, Request{Into: buf})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(res.Pairs) != 0 {
+		t.Fatalf("canceled Draw drew %d pairs", len(res.Pairs))
+	}
+
+	st := e.Stats()
+	if st.ClientFailures == 0 || st.SamplerFailures != 0 {
+		t.Fatalf("cancellations misclassified: %+v", st)
+	}
+}
+
+// TestEngineDrawBadRequest: malformed requests fail with
+// ErrBadRequest before any sampling.
+func TestEngineDrawBadRequest(t *testing.T) {
+	e, _ := newTestEngine(t, 33)
+	ctx := context.Background()
+	if _, err := e.Draw(ctx, Request{}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("zero request: err = %v", err)
+	}
+	if _, err := e.Draw(ctx, Request{T: -1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("negative T: err = %v", err)
+	}
+	if _, err := e.Draw(ctx, Request{T: 10, Into: make([]geom.Pair, 5)}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("short Into: err = %v", err)
+	}
+	e.SetMaxT(100)
+	if _, err := e.Draw(ctx, Request{T: 101}); !errors.Is(err, ErrSampleCap) {
+		t.Fatalf("over cap: err = %v", err)
+	}
+	// Into with T defaulted from its length draws exactly len(Into).
+	e.SetMaxT(0)
+	buf := make([]geom.Pair, 64)
+	res, err := e.Draw(ctx, Request{Into: buf})
+	if err != nil || len(res.Pairs) != 64 {
+		t.Fatalf("Into draw: %d pairs, %v", len(res.Pairs), err)
+	}
+	if &res.Pairs[0] != &buf[0] {
+		t.Fatal("Result.Pairs not backed by Into")
+	}
+	if res.Elapsed <= 0 || res.Elapsed > time.Minute {
+		t.Fatalf("implausible Elapsed %v", res.Elapsed)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,12 +38,19 @@ func NewClient(base string, hc *http.Client) *Client {
 // APIError is a non-2xx answer from the server.
 type APIError struct {
 	Status  int    // HTTP status code
+	Code    string // machine-readable error code (see the Code constants)
 	Message string // the server's error body
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Status)
 }
+
+// Unwrap maps the server's error code back onto the canonical
+// sentinel it was derived from, so errors.Is works identically
+// against a remote server and a local engine — a sample-cap refusal
+// is errors.Is(err, engine.ErrSampleCap) on both sides of the wire.
+func (e *APIError) Unwrap() error { return sentinelFor(e.Code) }
 
 // apiError decodes resp's error body into an *APIError.
 func apiError(resp *http.Response) error {
@@ -51,7 +59,7 @@ func apiError(resp *http.Response) error {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&body); err == nil && body.Error != "" {
 		msg = body.Error
 	}
-	return &APIError{Status: resp.StatusCode, Message: msg}
+	return &APIError{Status: resp.StatusCode, Code: body.Code, Message: msg}
 }
 
 // postSample issues the request with the given Accept header and
@@ -114,8 +122,43 @@ func (c *Client) SampleFunc(ctx context.Context, req SampleRequest, fn func(batc
 		return err
 	}
 	defer resp.Body.Close()
-	n, err := readWireStream(resp.Body, fn)
+	var fnErr error
+	delivered := 0
+	n, err := readWireStream(resp.Body, func(batch []geom.Pair) error {
+		// Abort as soon as the stream exceeds what was asked for: a
+		// misbehaving server must not be able to push unbounded excess
+		// samples through fn (or through Sample's accumulator).
+		if delivered += len(batch); delivered > req.T {
+			return fmt.Errorf("server: stream delivered more than the %d samples requested", req.T)
+		}
+		if ferr := fn(batch); ferr != nil {
+			fnErr = ferr
+			return ferr
+		}
+		return nil
+	})
 	if err != nil {
+		// fn's own error is returned verbatim, even when the caller's
+		// context is (also) done — cancel-and-return-sentinel is a
+		// legitimate early-stop idiom.
+		if fnErr != nil {
+			return fnErr
+		}
+		// A fully decoded server-side error frame wins over a
+		// concurrently expiring local context: the server's failure
+		// (say, ErrLowAcceptance) is what a local engine would have
+		// returned, and it made it off the wire intact.
+		var serr *StreamError
+		if errors.As(err, &serr) {
+			return err
+		}
+		// A context that expired mid-stream surfaces as a transport
+		// read error; report the cancellation itself so callers can
+		// errors.Is(err, context.Canceled) exactly as with a local
+		// engine.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		return err
 	}
 	if n != req.T {

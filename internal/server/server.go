@@ -130,6 +130,13 @@ type SampleRequest struct {
 	// keys share one engine, so equal seeds do NOT replay samples —
 	// the seed selects an engine, and its stream advances per request.
 	Seed uint64 `json:"seed,omitempty"`
+	// DrawSeed, when nonzero, is the per-request stream seed: the
+	// request draws from a stream seeded with it, so equal
+	// (key, draw_seed) requests return identical samples regardless
+	// of interleaved traffic. Zero keeps the engine's own advancing
+	// sequence. Honored by both the JSON and the framed binary
+	// transport.
+	DrawSeed uint64 `json:"draw_seed,omitempty"`
 	// T is the number of samples to draw; 0 < T <= the server's MaxT.
 	T int `json:"t"`
 	// Format selects the response encoding: "json" (default) or
@@ -161,23 +168,40 @@ type StatsResponse struct {
 	Engines    []registry.EntryInfo `json:"engines"`
 }
 
+// Machine-readable error codes carried in every non-2xx answer, so
+// clients can branch on error kinds without parsing messages. The Go
+// client maps them back onto the canonical sentinel errors (see
+// APIError.Unwrap): the same errors.Is checks work against a local
+// Engine and a remote server.
+const (
+	CodeBadRequest    = "bad_request"    // malformed request (engine.ErrBadRequest)
+	CodeBadKey        = "bad_key"        // the key names nothing buildable (ErrBadKey)
+	CodeSampleCap     = "sample_cap"     // t exceeds a configured cap (engine.ErrSampleCap)
+	CodeEmptyJoin     = "empty_join"     // provably empty join (core.ErrEmptyJoin)
+	CodeLowAcceptance = "low_acceptance" // rejection budget exhausted (core.ErrLowAcceptance)
+	CodeTimeout       = "timeout"        // request deadline exceeded
+	CodeCanceled      = "canceled"       // request context canceled
+	CodeInternal      = "internal"       // anything else
+)
+
 // errorResponse is the JSON body of every non-2xx answer.
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
-// writeError answers with a JSON error body.
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+// writeError answers with a JSON error body carrying apiCode.
+func writeError(w http.ResponseWriter, status int, apiCode string, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...), Code: apiCode})
 }
 
 // statusFor maps an error to the HTTP status that describes it.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadKey), errors.Is(err, registry.ErrInvalidKey),
-		errors.Is(err, engine.ErrSampleCap):
+		errors.Is(err, engine.ErrSampleCap), errors.Is(err, engine.ErrBadRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrEmptyJoin):
 		// The key is well-formed but the join it names has no pairs
@@ -193,35 +217,80 @@ func statusFor(err error) int {
 	}
 }
 
+// codeSentinels is the single source of truth tying wire-level error
+// codes to the canonical sentinel errors: codeFor and sentinelFor are
+// both derived from it, so the two directions cannot drift apart.
+// Order matters twice over — codeFor takes the first sentinel the
+// error Is, and sentinelFor takes the first row carrying the code
+// (the canonical sentinel of a code with several rows goes first).
+var codeSentinels = []struct {
+	code     string
+	sentinel error
+}{
+	{CodeSampleCap, engine.ErrSampleCap},
+	{CodeBadRequest, engine.ErrBadRequest},
+	{CodeBadKey, ErrBadKey},
+	{CodeBadKey, registry.ErrInvalidKey},
+	{CodeEmptyJoin, core.ErrEmptyJoin},
+	{CodeLowAcceptance, core.ErrLowAcceptance},
+	{CodeTimeout, context.DeadlineExceeded},
+	{CodeCanceled, context.Canceled},
+}
+
+// codeFor maps an error to its wire-level error code.
+func codeFor(err error) string {
+	for _, cs := range codeSentinels {
+		if errors.Is(err, cs.sentinel) {
+			return cs.code
+		}
+	}
+	return CodeInternal
+}
+
+// sentinelFor inverts codeFor: the canonical sentinel a wire-level
+// error code names, or nil for unknown/internal codes. Shared by
+// APIError (pre-stream HTTP errors) and StreamError (mid-stream
+// error frames).
+func sentinelFor(code string) error {
+	for _, cs := range codeSentinels {
+		if cs.code == code {
+			return cs.sentinel
+		}
+	}
+	return nil
+}
+
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	var req SampleRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Dataset == "" {
-		writeError(w, http.StatusBadRequest, "dataset is required")
+		writeError(w, http.StatusBadRequest, CodeBadKey, "dataset is required")
 		return
 	}
+	// Non-positive t is the client's mistake whatever the transport:
+	// both formats answer 400 here, before any engine is resolved.
 	if req.T <= 0 {
-		writeError(w, http.StatusBadRequest, "t must be positive, got %d", req.T)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "t must be positive, got %d", req.T)
 		return
 	}
 	if req.T > s.cfg.MaxT {
-		writeError(w, http.StatusBadRequest, "t=%d exceeds the server cap %d", req.T, s.cfg.MaxT)
+		writeError(w, http.StatusBadRequest, CodeSampleCap, "t=%d exceeds the server cap %d", req.T, s.cfg.MaxT)
 		return
 	}
 	// An explicit body format wins; the Accept header is only a
 	// fallback for clients that leave the field empty.
 	if req.Format != "" && req.Format != "json" && req.Format != "binary" {
-		writeError(w, http.StatusBadRequest, "unknown format %q (json or binary)", req.Format)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "unknown format %q (json or binary)", req.Format)
 		return
 	}
 	binaryOut := req.Format == "binary" ||
 		(req.Format == "" && r.Header.Get("Accept") == ContentTypeBinary)
 	if !binaryOut && req.T > s.cfg.MaxTJSON {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, CodeSampleCap,
 			"t=%d exceeds the JSON transport cap %d; use format \"binary\" for bulk transfers",
 			req.T, s.cfg.MaxTJSON)
 		return
@@ -231,31 +300,30 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	eng, err := s.cfg.Registry.Get(ctx, req.Key())
 	if err != nil {
-		writeError(w, statusFor(err), "building engine %s: %v", req.Key(), err)
+		writeError(w, statusFor(err), codeFor(err), "building engine %s: %v", req.Key(), err)
 		return
 	}
+	dreq := engine.Request{T: req.T, Seed: req.DrawSeed}
 	if binaryOut {
-		s.streamBinary(ctx, w, eng, req.T)
+		s.streamBinary(ctx, w, eng, dreq)
 		return
 	}
-	s.respondJSON(ctx, w, eng, req.T)
+	s.respondJSON(ctx, w, eng, dreq)
 }
 
-// respondJSON draws all t samples (bounded by MaxTJSON), then encodes
-// one JSON body. Drawing goes through SampleFunc so the context
-// deadline is honored between chunks; the response write gets its own
-// deadline so a client that stops reading cannot pin the handler.
-func (s *Server) respondJSON(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, t int) {
-	pairs := make([]geom.Pair, 0, t)
-	err := eng.SampleFunc(t, func(batch []geom.Pair) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+// respondJSON draws all requested samples (bounded by MaxTJSON), then
+// encodes one JSON body. Drawing goes through the engine's
+// context-aware DrawFunc, so the deadline is honored between chunks;
+// the response write gets its own deadline so a client that stops
+// reading cannot pin the handler.
+func (s *Server) respondJSON(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, req engine.Request) {
+	pairs := make([]geom.Pair, 0, req.T)
+	err := eng.DrawFunc(ctx, req, func(batch []geom.Pair) error {
 		pairs = append(pairs, batch...)
 		return nil
 	})
 	if err != nil {
-		writeError(w, statusFor(err), "sampling: %v", err)
+		writeError(w, statusFor(err), codeFor(err), "sampling: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -263,14 +331,15 @@ func (s *Server) respondJSON(ctx context.Context, w http.ResponseWriter, eng *en
 	json.NewEncoder(w).Encode(SampleResponse{Count: len(pairs), Pairs: pairs})
 }
 
-// streamBinary streams t samples as framed chunks, flushing per
-// chunk, in constant memory. Errors after the first chunk arrive as
-// an in-stream error frame (the 200 status is already on the wire).
-// Each frame write gets a fresh deadline: a client making progress
+// streamBinary streams the requested samples as framed chunks,
+// flushing per chunk, in constant memory. Errors after the first
+// chunk arrive as an in-stream error frame (the 200 status is already
+// on the wire). The engine's DrawFunc checks ctx between batches, and
+// each frame write gets a fresh deadline: a client making progress
 // can stream forever, but one that stops reading blocks our Write,
 // trips the deadline, and frees the handler and its sampler clone —
 // the between-batch ctx check alone never fires while Write is stuck.
-func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, t int) {
+func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, req engine.Request) {
 	w.Header().Set("Content-Type", ContentTypeBinary)
 	rc := http.NewResponseController(w)
 	rc.SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
@@ -279,10 +348,7 @@ func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *e
 	}
 	flusher, _ := w.(http.Flusher)
 	var scratch []byte
-	err := eng.SampleFunc(t, func(batch []geom.Pair) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+	err := eng.DrawFunc(ctx, req, func(batch []geom.Pair) error {
 		rc.SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
 		var werr error
 		scratch, werr = writeWireFrame(w, batch, scratch)
@@ -295,7 +361,7 @@ func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *e
 		return nil
 	})
 	if err != nil {
-		writeWireError(w, err.Error())
+		writeWireError(w, codeFor(err), err.Error())
 		return
 	}
 	writeWireEnd(w)
@@ -329,11 +395,11 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	var req SampleRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Dataset == "" {
-		writeError(w, http.StatusBadRequest, "dataset is required")
+		writeError(w, http.StatusBadRequest, CodeBadKey, "dataset is required")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

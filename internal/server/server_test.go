@@ -25,6 +25,7 @@ import (
 	"repro/internal/join"
 	"repro/internal/registry"
 	"repro/internal/rng"
+	"repro/internal/testutil"
 )
 
 // testEnv is the dataset resolution and engine construction srjserver
@@ -460,6 +461,237 @@ func TestServerStatsEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerDrawSeed: a nonzero draw_seed pins the request's stream —
+// equal (key, draw_seed) requests return identical samples whatever
+// traffic is interleaved — on both transports, and the two transports
+// agree with each other.
+func TestServerDrawSeed(t *testing.T) {
+	cl, _, _, done := newTestStack(t, 0, 10_000)
+	defer done()
+	ctx := context.Background()
+	seeded := SampleRequest{Dataset: "tiny", L: 3, Seed: 1, DrawSeed: 1234, T: 600}
+	unseeded := SampleRequest{Dataset: "tiny", L: 3, Seed: 1, T: 600}
+
+	a, err := cl.Sample(ctx, seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Sample(ctx, unseeded); err != nil { // interleaved traffic
+		t.Fatal(err)
+	}
+	b, err := cl.Sample(ctx, seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsn, err := cl.SampleJSON(ctx, seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("equal draw seeds diverged at sample %d", i)
+		}
+		if a[i] != jsn[i] {
+			t.Fatalf("transports disagree at sample %d: %v vs %v", i, a[i], jsn[i])
+		}
+	}
+	// Unseeded requests must not replay each other.
+	c, err := cl.Sample(ctx, unseeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cl.Sample(ctx, unseeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range c {
+		if c[i] == d[i] {
+			same++
+		}
+	}
+	if same > len(c)/2 {
+		t.Fatalf("unseeded requests repeated %d/%d samples", same, len(c))
+	}
+}
+
+// TestServerErrorCodes: non-2xx answers carry a machine-readable
+// code, and the client unwraps it onto the canonical sentinel — the
+// same errors.Is checks as against a local engine. Non-positive t is
+// a 400 on every transport.
+func TestServerErrorCodes(t *testing.T) {
+	cl, _, _, done := newTestStack(t, 0, 1000)
+	defer done()
+	ctx := context.Background()
+
+	cases := []struct {
+		name     string
+		req      SampleRequest
+		code     string
+		sentinel error
+	}{
+		{"zero t", SampleRequest{Dataset: "tiny", L: 3, T: 0}, CodeBadRequest, engine.ErrBadRequest},
+		{"negative t", SampleRequest{Dataset: "tiny", L: 3, T: -5}, CodeBadRequest, engine.ErrBadRequest},
+		{"over cap", SampleRequest{Dataset: "tiny", L: 3, T: 1001}, CodeSampleCap, engine.ErrSampleCap},
+		{"unknown dataset", SampleRequest{Dataset: "nope", L: 3, T: 10}, CodeBadKey, ErrBadKey},
+		{"empty join", SampleRequest{Dataset: "tiny", L: 0.000001, T: 10}, CodeEmptyJoin, core.ErrEmptyJoin},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := cl.SampleJSON(ctx, tc.req)
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("err = %v, want *APIError", err)
+			}
+			if apiErr.Code != tc.code {
+				t.Fatalf("code = %q, want %q (%s)", apiErr.Code, tc.code, apiErr.Message)
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.sentinel)
+			}
+		})
+	}
+
+	// The binary transport answers non-positive t with the same 400
+	// before any stream starts.
+	for _, body := range []string{
+		`{"dataset":"tiny","l":3,"t":0,"format":"binary"}`,
+		`{"dataset":"tiny","l":3,"t":-7,"format":"binary"}`,
+	} {
+		resp, err := http.Post(cl.base+"/v1/sample", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 400 {
+			t.Fatalf("binary body %q: status %d, want 400", body, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("binary body %q: error Content-Type %q", body, ct)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestClientRejectsOverDelivery: a misbehaving server streaming more
+// samples than requested is cut off at the first excess frame — the
+// client's accumulators must not grow past req.T.
+func TestClientRejectsOverDelivery(t *testing.T) {
+	rogue := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		writeWireHeader(w)
+		batch := make([]geom.Pair, 1000)
+		var scratch []byte
+		for i := 0; i < 50; i++ { // 50k pairs, whatever was asked
+			scratch, _ = writeWireFrame(w, batch, scratch)
+		}
+		writeWireEnd(w)
+	}))
+	defer rogue.Close()
+	cl := NewClient(rogue.URL, rogue.Client())
+
+	received := 0
+	err := cl.SampleFunc(context.Background(), SampleRequest{Dataset: "d", L: 1, T: 2500},
+		func(batch []geom.Pair) error {
+			received += len(batch)
+			return nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "more than") {
+		t.Fatalf("err = %v, want over-delivery error", err)
+	}
+	if received > 2500 {
+		t.Fatalf("fn received %d samples, beyond the %d requested", received, 2500)
+	}
+	pairs, err := cl.Sample(context.Background(), SampleRequest{Dataset: "d", L: 1, T: 2500})
+	if err == nil {
+		t.Fatal("Sample accepted an over-delivering stream")
+	}
+	if len(pairs) > 2500 {
+		t.Fatalf("Sample accumulated %d samples, beyond the %d requested", len(pairs), 2500)
+	}
+}
+
+// TestServerMidStreamErrorParity: an error after the binary stream
+// has started (the 200 is on the wire) still reaches the client with
+// its code, so errors.Is against the canonical sentinel works for
+// mid-stream failures exactly as for pre-stream HTTP errors. The
+// forced failure is the server's own deadline expiring mid-draw.
+func TestServerMidStreamErrorParity(t *testing.T) {
+	r := rng.New(2)
+	te := &testEnv{
+		data: map[string][2][]geom.Point{
+			"other": {randomPoints(r, 300, 50, 0), randomPoints(r, 300, 50, 10000)},
+		},
+		maxT: 100_000_000,
+	}
+	reg := registry.New(te.build, 0)
+	srv, err := New(Config{Registry: reg, MaxT: 100_000_000, Timeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := NewClient(ts.URL, ts.Client())
+
+	// Warm the engine so the deadline budget is spent sampling, then
+	// ask for far more samples than 80ms can draw. The client has no
+	// deadline of its own, so whatever arrives is the server's error.
+	if _, err := cl.Sample(context.Background(), SampleRequest{Dataset: "other", L: 5, Seed: 3, T: 10}); err != nil {
+		t.Fatal(err)
+	}
+	err = cl.SampleFunc(context.Background(),
+		SampleRequest{Dataset: "other", L: 5, Seed: 3, T: 100_000_000},
+		func([]geom.Pair) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(err, context.DeadlineExceeded)", err)
+	}
+}
+
+// TestServerHandlerCancellation: a client canceling mid-stream stops
+// the handler's draw loop promptly and leaks no goroutines — neither
+// in the handler nor in the engine underneath.
+func TestServerHandlerCancellation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	cl, reg, _, done := newTestStack(t, 0, 500_000)
+	defer done()
+
+	// Warm the key so the timed part is sampling, not the build.
+	warmCtx := context.Background()
+	if _, err := cl.Sample(warmCtx, SampleRequest{Dataset: "other", L: 5, Seed: 3, T: 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	received := 0
+	err := cl.SampleFunc(ctx, SampleRequest{Dataset: "other", L: 5, Seed: 3, T: 400_000},
+		func(batch []geom.Pair) error {
+			received += len(batch)
+			cancel()
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if received >= 400_000 {
+		t.Fatalf("canceled stream delivered all %d samples", received)
+	}
+
+	// The server records the aborted request against the engine; wait
+	// for the handler to finish its accounting (it may still be
+	// unwinding when the client returns).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries := reg.Entries()
+		if len(entries) == 1 && entries[0].Engine.Requests >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine never recorded the canceled request: %+v", entries)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestWireRoundTrip unit-tests the framed binary encoding, including
 // the error frame and truncation detection.
 func TestWireRoundTrip(t *testing.T) {
@@ -524,16 +756,26 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("oversized batch: %d pairs, %v", n, err)
 	}
 
-	// An error frame surfaces as an error carrying the message.
+	// An error frame surfaces as a *StreamError carrying the message
+	// and the machine-readable code, which unwraps onto the canonical
+	// sentinel — mid-stream errors keep errors.Is parity with local
+	// engines.
 	var ebuf bytes.Buffer
 	writeWireHeader(&ebuf)
 	if _, err := writeWireFrame(&ebuf, pairs[:3], nil); err != nil {
 		t.Fatal(err)
 	}
-	writeWireError(&ebuf, "sampler gave up")
+	writeWireError(&ebuf, CodeLowAcceptance, "sampler gave up")
 	n, err = readWireStream(bytes.NewReader(ebuf.Bytes()), nil)
 	if n != 3 || err == nil || !strings.Contains(err.Error(), "sampler gave up") {
 		t.Fatalf("error frame: n=%d err=%v", n, err)
+	}
+	var serr *StreamError
+	if !errors.As(err, &serr) || serr.Code != CodeLowAcceptance {
+		t.Fatalf("error frame: %v is not a StreamError with code %q", err, CodeLowAcceptance)
+	}
+	if !errors.Is(err, core.ErrLowAcceptance) {
+		t.Fatalf("errors.Is(%v, core.ErrLowAcceptance) = false", err)
 	}
 
 	// Truncation (no end frame) is detected, not silently accepted.

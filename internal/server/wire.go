@@ -11,13 +11,17 @@ package server
 //	frame  : count uint32 > 0, then count 40-byte pair records
 //	         (r.id int32, r.x, r.y float64, s.id int32, s.x, s.y)
 //	end    : count uint32 == 0 — the stream completed cleanly
-//	error  : count uint32 == 0xFFFFFFFF, msgLen uint32, msg bytes —
-//	         the stream aborted after the header was sent
+//	error  : count uint32 == 0xFFFFFFFF, codeLen uint32, code bytes,
+//	         msgLen uint32, msg bytes — the stream aborted after the
+//	         header was sent
 //
 // All integers and floats are little-endian. The explicit end frame
 // distinguishes a complete stream from a connection that died midway,
 // and the error frame carries mid-stream failures that HTTP status
-// codes cannot (the 200 header is long gone by then).
+// codes cannot (the 200 header is long gone by then) — including the
+// machine-readable error code, so errors.Is against the canonical
+// sentinels works for mid-stream failures exactly as for pre-stream
+// HTTP errors (version 2 added the code field).
 
 import (
 	"encoding/binary"
@@ -31,8 +35,9 @@ import (
 const (
 	// wireMagic opens every binary pair stream.
 	wireMagic = uint32(0x53524a50) // "SRJP"
-	// wireVersion is bumped on incompatible format changes.
-	wireVersion = uint8(1)
+	// wireVersion is bumped on incompatible format changes (2: the
+	// error frame grew a code field).
+	wireVersion = uint8(2)
 	// pairBytes is the encoded size of one pair record.
 	pairBytes = 40
 	// frameError marks an error frame's count field.
@@ -102,18 +107,70 @@ func writeWireEnd(w io.Writer) error {
 	return err
 }
 
-// writeWireError aborts a binary pair stream with a message the
-// client surfaces as an error.
-func writeWireError(w io.Writer, msg string) error {
+// writeWireError aborts a binary pair stream with a machine-readable
+// code plus a message; the client surfaces both as a *StreamError.
+func writeWireError(w io.Writer, code, msg string) error {
+	if len(code) > maxErrorLen {
+		code = code[:maxErrorLen]
+	}
 	if len(msg) > maxErrorLen {
 		msg = msg[:maxErrorLen]
 	}
-	buf := make([]byte, 8+len(msg))
+	buf := make([]byte, 12+len(code)+len(msg))
 	binary.LittleEndian.PutUint32(buf[:4], frameError)
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(msg)))
-	copy(buf[8:], msg)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(code)))
+	off := 8 + copy(buf[8:], code)
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(msg)))
+	copy(buf[off+4:], msg)
 	_, err := w.Write(buf)
 	return err
+}
+
+// StreamError is a mid-stream failure relayed through the binary
+// transport's error frame — the HTTP 200 was already on the wire, so
+// the status-code path of APIError is unavailable. Like APIError it
+// unwraps onto the canonical sentinel its code names, keeping
+// errors.Is behavior identical before and after the first frame.
+type StreamError struct {
+	Code    string // machine-readable error code (see the Code constants)
+	Message string // the server's error text
+}
+
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("server: remote error: %s", e.Message)
+}
+
+// Unwrap maps the error code onto its canonical sentinel.
+func (e *StreamError) Unwrap() error { return sentinelFor(e.Code) }
+
+// readErrorFrame consumes the code and message of an error frame
+// (the frameError count is already read) and returns the
+// *StreamError it describes.
+func readErrorFrame(r io.Reader) (*StreamError, error) {
+	readStr := func(what string) (string, error) {
+		var ln [4]byte
+		if _, err := io.ReadFull(r, ln[:]); err != nil {
+			return "", fmt.Errorf("server: truncated error frame: %w", err)
+		}
+		l := binary.LittleEndian.Uint32(ln[:])
+		if l > maxErrorLen {
+			return "", fmt.Errorf("server: oversized error frame %s (%d bytes)", what, l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", fmt.Errorf("server: truncated error frame: %w", err)
+		}
+		return string(b), nil
+	}
+	code, err := readStr("code")
+	if err != nil {
+		return nil, err
+	}
+	msg, err := readStr("message")
+	if err != nil {
+		return nil, err
+	}
+	return &StreamError{Code: code, Message: msg}, nil
 }
 
 // readWireStream consumes a binary pair stream, invoking fn with
@@ -144,19 +201,11 @@ func readWireStream(r io.Reader, fn func(batch []geom.Pair) error) (int, error) 
 		case n == 0:
 			return total, nil
 		case n == frameError:
-			var ln [4]byte
-			if _, err := io.ReadFull(r, ln[:]); err != nil {
-				return total, fmt.Errorf("server: truncated error frame: %w", err)
+			serr, err := readErrorFrame(r)
+			if err != nil {
+				return total, err
 			}
-			l := binary.LittleEndian.Uint32(ln[:])
-			if l > maxErrorLen {
-				return total, fmt.Errorf("server: oversized error frame (%d bytes)", l)
-			}
-			msg := make([]byte, l)
-			if _, err := io.ReadFull(r, msg); err != nil {
-				return total, fmt.Errorf("server: truncated error frame: %w", err)
-			}
-			return total, fmt.Errorf("server: remote error: %s", msg)
+			return total, serr
 		case n > maxFramePairs:
 			return total, fmt.Errorf("server: oversized frame (%d pairs)", n)
 		}

@@ -1,0 +1,46 @@
+// Package testutil holds shared test helpers. It is imported only
+// from _test files; keeping the helpers in a real package lets every
+// layer of the serving stack (engine, server, root) share them.
+package testutil
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the goroutine count and registers a cleanup
+// that fails the test if, after a grace period, more goroutines are
+// still alive than at the snapshot (plus a small slack for runtime
+// helpers). Call it first in a test, before starting servers or
+// clients, so their teardown runs before the check. It is a
+// stdlib-only leak detector: counts instead of full stack
+// attribution, with the goroutine dump attached on failure for
+// diagnosis.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Leaked-looking goroutines are usually just not finished
+		// parking yet (httptest teardown, connection close); poll
+		// before declaring a leak.
+		const (
+			slack    = 2
+			attempts = 100
+			pause    = 10 * time.Millisecond
+		)
+		var now int
+		for i := 0; i < attempts; i++ {
+			now = runtime.NumGoroutine()
+			if now <= before+slack {
+				return
+			}
+			time.Sleep(pause)
+		}
+		var buf bytes.Buffer
+		pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		t.Errorf("goroutine leak: %d before, %d after grace period\n%s", before, now, buf.String())
+	})
+}

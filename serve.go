@@ -37,10 +37,22 @@ type SampleRequest = server.SampleRequest
 type ServerStats = server.StatsResponse
 
 // Client speaks the srjserver wire protocol; construct with
-// NewClient.
-type Client = server.Client
+// NewClient. The embedded methods (Sample, SampleFunc, SampleJSON,
+// Stats, Engines, EvictEngine, Health) form the low-level multi-key
+// API, addressing a full SampleRequest per call; Bind fixes one
+// engine key and turns the client into a Source, the same
+// request/response contract the in-process Engine serves.
+type Client struct {
+	*server.Client
 
-// APIError is a non-2xx answer from a Server.
+	key   EngineKey // the Source key, when bound
+	bound bool
+}
+
+// APIError is a non-2xx answer from a Server. It unwraps to the
+// canonical sentinel matching its wire-level error code, so
+// errors.Is(err, ErrSampleCap), ErrBadRequest, ErrEmptyJoin, and
+// ErrLowAcceptance work identically against local and remote sources.
 type APIError = server.APIError
 
 // NewClient returns a client for the srjserver-compatible server at
@@ -48,12 +60,14 @@ type APIError = server.APIError
 // http.DefaultClient keeps only two idle connections per host; for
 // many concurrent request goroutines use NewClientHTTP with a
 // transport sized to the concurrency (as srjbench -remote does).
-func NewClient(base string) *Client { return server.NewClient(base, nil) }
+func NewClient(base string) *Client { return &Client{Client: server.NewClient(base, nil)} }
 
 // NewClientHTTP is NewClient with a caller-supplied http.Client, for
 // control over connection pooling, TLS, and transport-level
 // timeouts (per-request deadlines belong in the context instead).
-func NewClientHTTP(base string, hc *http.Client) *Client { return server.NewClient(base, hc) }
+func NewClientHTTP(base string, hc *http.Client) *Client {
+	return &Client{Client: server.NewClient(base, hc)}
+}
 
 // ServerOptions configures NewServer. The zero value serves the
 // built-in dataset generators at 100k points per side with a 1 GiB

@@ -30,21 +30,43 @@
 // A Sampler rebuilds its indexes per query, which wastes the paper's
 // amortization when many requests target the same R, S, and l. An
 // Engine builds the structures once and serves any number of
-// concurrent requests against them, each from a pooled sampler clone
-// with an independent random stream:
+// concurrent requests against them through the context-first Source
+// API — Draw(ctx, Request) and the streaming DrawFunc — each request
+// drawn from a pooled sampler clone:
 //
 //	eng, err := srj.NewEngine(R, S, 100, nil)
 //	if err != nil { ... }
 //	// any number of goroutines:
-//	pairs, err := eng.Sample(10_000)
-//	// or, allocation-free:
-//	n, err := eng.SampleInto(buf)
+//	res, err := eng.Draw(ctx, srj.Request{T: 10_000})
+//	// reproducible per request, whatever traffic is interleaved:
+//	res, err = eng.Draw(ctx, srj.Request{T: 10_000, Seed: 42})
+//	// allocation-free, into a reused buffer:
+//	res, err = eng.Draw(ctx, srj.Request{Into: buf})
 //	fmt.Println(eng.Stats()) // requests, samples/sec inputs, latency
 //
 // The amortization also survives a process boundary: NewServer wraps
 // a memory-budgeted registry of engines in an HTTP API (the handler
-// behind cmd/srjserver) and NewClient draws samples from it over the
-// wire — see serve.go and examples/remote.
+// behind cmd/srjserver) and NewClient speaks its wire protocol. A
+// client bound to one engine key is a Source too — the same
+// Draw/DrawFunc contract, cancellation and seeds included, served
+// remotely:
+//
+//	src := srj.NewClient("http://localhost:8080").
+//	    Bind(srj.EngineKey{Dataset: "nyc", L: 100, Algorithm: "bbst"})
+//	res, err := src.Draw(ctx, srj.Request{T: 10_000, Seed: 42})
+//
+// Anything written against Source swaps local for remote serving
+// freely — see serve.go, examples/serving, and examples/remote.
+//
+// # Migrating to the Source API
+//
+// The pre-Source per-implementation methods remain as thin shims:
+//
+//	Engine.Sample(t)            → Engine.Draw(ctx, Request{T: t})
+//	Engine.SampleInto(buf)      → Engine.Draw(ctx, Request{Into: buf})
+//	Engine.SampleFunc(t, fn)    → Engine.DrawFunc(ctx, Request{T: t}, fn)
+//	Client.Sample(ctx, req)     → Client.Bind(key).Draw(ctx, Request{T: req.T})
+//	Client.SampleFunc(ctx, req, fn) → Client.Bind(key).DrawFunc(ctx, Request{T: req.T}, fn)
 package srj
 
 import (
@@ -259,15 +281,25 @@ func NewEngine(R, S []Point, l float64, opts *Options) (*Engine, error) {
 }
 
 // Sample serves one request for t uniform independent join samples.
+//
+// Deprecated: use Draw — the context-first Source API adds
+// cancellation and per-request seeds. Sample(t) is
+// Draw(context.Background(), Request{T: t}) without the Result stats.
 func (e *Engine) Sample(t int) ([]Pair, error) { return e.e.Sample(t) }
 
 // SampleInto serves one request, filling the caller's buffer — the
 // zero-allocation hot path. It returns the number of samples written.
+//
+// Deprecated: use Draw with Request.Into — same zero-allocation path,
+// plus cancellation and per-request seeds.
 func (e *Engine) SampleInto(dst []Pair) (int, error) { return e.e.SampleInto(dst) }
 
 // SampleFunc serves one request for t samples, streaming them to fn
 // in batches whose backing array is pooled and reused — fn must not
 // retain the batch slice after returning.
+//
+// Deprecated: use DrawFunc — the same streaming path with
+// cancellation between batches and per-request seeds.
 func (e *Engine) SampleFunc(t int, fn func(batch []Pair) error) error {
 	return e.e.SampleFunc(t, fn)
 }
