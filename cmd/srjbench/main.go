@@ -60,7 +60,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		list    = fs.Bool("list", false, "list experiment names and exit")
 
 		serve    = fs.Bool("serve", false, "serving throughput mode: hammer an Engine with concurrent clients")
-		remote   = fs.String("remote", "", "serve mode: benchmark a running srjserver at this base URL instead of an in-process Engine")
+		remote   = fs.String("remote", "", "serve mode: benchmark a running srjserver at this base URL instead of an in-process Engine; several comma-separated URLs shard the bench through a consistent-hash Router")
 		dataset  = fs.String("dataset", "nyc", "serve mode: dataset for R and S (each of size -base)")
 		algo     = fs.String("algo", "bbst", "serve mode: sampling algorithm")
 		clients  = fs.Int("clients", runtime.NumCPU(), "serve mode: concurrent client goroutines")
@@ -270,15 +270,84 @@ func runServe(ctx context.Context, stdout io.Writer, cfg serveConfig) error {
 	return nil
 }
 
-// runServeRemote benchmarks a running srjserver over the wire,
-// through the same Source API the local mode uses — the client bound
-// to one engine key is a drop-in for the in-process Engine. The
+// remoteTarget abstracts what the remote bench talks to: one
+// srjserver through a bound Client, or a fleet of them through a
+// consistent-hash Router. Both bind keys to Sources, evict throwaway
+// engines, and report registry stats — so the measured loop is
+// literally the same code either way.
+type remoteTarget interface {
+	bind(key srj.EngineKey) srj.Source
+	health(ctx context.Context) error
+	evict(ctx context.Context, key srj.EngineKey) (bool, error)
+	printStats(ctx context.Context, stdout io.Writer) error
+}
+
+// clientTarget is a single srjserver.
+type clientTarget struct{ cl *srj.Client }
+
+func (t clientTarget) bind(key srj.EngineKey) srj.Source { return t.cl.Bind(key) }
+func (t clientTarget) health(ctx context.Context) error  { return t.cl.Health(ctx) }
+func (t clientTarget) evict(ctx context.Context, key srj.EngineKey) (bool, error) {
+	return t.cl.EvictEngine(ctx, key)
+}
+func (t clientTarget) printStats(ctx context.Context, stdout io.Writer) error {
+	st, err := t.cl.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	printRegistryLine(stdout, "server", st)
+	return nil
+}
+
+// routerTarget is a sharded fleet behind srj.Router.
+type routerTarget struct{ rt *srj.Router }
+
+func (t routerTarget) bind(key srj.EngineKey) srj.Source { return t.rt.Bind(key) }
+func (t routerTarget) health(ctx context.Context) error  { return t.rt.Health(ctx) }
+func (t routerTarget) evict(ctx context.Context, key srj.EngineKey) (bool, error) {
+	return t.rt.EvictEngine(ctx, key)
+}
+func (t routerTarget) printStats(ctx context.Context, stdout io.Writer) error {
+	// ServerStats returns whatever the reachable backends answered
+	// alongside the first error; a shard that died during the bench
+	// must not erase the numbers the survivors reported.
+	stats, err := t.rt.ServerStats(ctx)
+	if len(stats) == 0 {
+		return err
+	}
+	for _, b := range t.rt.Backends() {
+		if st, ok := stats[b]; ok {
+			printRegistryLine(stdout, b, st)
+		}
+	}
+	for _, b := range t.rt.Stats().Backends {
+		fmt.Fprintf(stdout, "router: %s healthy=%v %d requests, %d failures, %d failovers\n",
+			b.Addr, b.Healthy, b.Requests, b.Failures, b.Failovers)
+	}
+	if err != nil {
+		fmt.Fprintf(stdout, "warning: some backends unreachable for stats: %v\n", err)
+	}
+	return nil
+}
+
+func printRegistryLine(stdout io.Writer, who string, st srj.ServerStats) {
+	fmt.Fprintf(stdout, "%s registry: %d hits, %d misses, %d builds, %d budget evictions, %d resident engines (%.1f MiB)\n",
+		who, st.Registry.Hits, st.Registry.Misses, st.Registry.Builds, st.Registry.Evictions,
+		st.Registry.Entries, float64(st.Registry.Bytes)/(1<<20))
+}
+
+// runServeRemote benchmarks a running srjserver (or, with several
+// comma-separated addresses, a sharded fleet through a Router) over
+// the wire, through the same Source API the local mode uses — the
+// bound client or router is a drop-in for the in-process Engine. The
 // cached-engine path hammers one (dataset, l, algorithm, seed) key —
 // after the first request every one is a registry hit — then a
 // rebuild-per-request baseline gives every request a distinct seed,
-// forcing a registry miss and a full preprocessing pass per request.
-// The ratio is the network-served version of the paper's
-// amortization argument.
+// forcing a registry miss and a full preprocessing pass per request
+// (with a router, those distinct keys also spread across the ring,
+// which is the horizontal-scaling story measured end to end). The
+// ratio is the network-served version of the paper's amortization
+// argument.
 func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base string) error {
 	if cfg.clients < 1 || cfg.requests < 1 || cfg.reqT < 1 {
 		return fmt.Errorf("serve mode needs positive -clients, -requests, -reqt")
@@ -291,9 +360,31 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 	const requestTimeout = 5 * time.Minute
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	transport.MaxIdleConnsPerHost = cfg.clients
-	cl := srj.NewClientHTTP(base, &http.Client{Transport: transport})
+	hc := &http.Client{Transport: transport}
+
+	var addrs []string
+	for _, a := range strings.Split(base, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	var target remoteTarget
+	switch len(addrs) {
+	case 0:
+		return fmt.Errorf("-remote needs at least one base URL")
+	case 1:
+		target = clientTarget{cl: srj.NewClientHTTP(addrs[0], hc)}
+	default:
+		rt, err := srj.NewRouter(addrs, srj.RouterOptions{HTTPClient: hc})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		target = routerTarget{rt: rt}
+	}
+
 	healthCtx, cancelHealth := context.WithTimeout(ctx, 10*time.Second)
-	err := cl.Health(healthCtx)
+	err := target.health(healthCtx)
 	cancelHealth()
 	if err != nil {
 		return fmt.Errorf("srjserver at %s not reachable: %w", base, err)
@@ -307,7 +398,7 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 		Algorithm: string(cfg.algo),
 		Seed:      cfg.seed,
 	}
-	src := cl.Bind(key)
+	src := target.bind(key)
 
 	// Warm the key so the timed section measures the cached path,
 	// exactly as the local mode builds its Engine outside the timer.
@@ -360,7 +451,7 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 		for i := uint64(1); i <= seedCounter.Load(); i++ {
 			bkey := key
 			bkey.Seed = seedBase + i
-			ok, err := cl.EvictEngine(evictCtx, bkey)
+			ok, err := target.evict(evictCtx, bkey)
 			if err != nil {
 				// Keep going: one failed eviction must not strand the
 				// remaining throwaway engines.
@@ -379,7 +470,7 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 		bkey.Seed = seedBase + seedCounter.Add(1)
 		reqCtx, cancel := context.WithTimeout(ctx, requestTimeout)
 		defer cancel()
-		return cl.Bind(bkey).DrawFunc(reqCtx, srj.Request{T: cfg.reqT}, func([]srj.Pair) error { return nil })
+		return target.bind(bkey).DrawFunc(reqCtx, srj.Request{T: cfg.reqT}, func([]srj.Pair) error { return nil })
 	}); err != nil {
 		return err
 	}
@@ -392,15 +483,8 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 		rebuildRate, cachedRate/rebuildRate)
 
 	statsCtx, cancelStats := context.WithTimeout(ctx, 10*time.Second)
-	st, err := cl.Stats(statsCtx)
-	cancelStats()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "server registry: %d hits, %d misses, %d builds, %d budget evictions, %d resident engines (%.1f MiB)\n",
-		st.Registry.Hits, st.Registry.Misses, st.Registry.Builds, st.Registry.Evictions,
-		st.Registry.Entries, float64(st.Registry.Bytes)/(1<<20))
-	return nil
+	defer cancelStats()
+	return target.printStats(statsCtx, stdout)
 }
 
 func main() {

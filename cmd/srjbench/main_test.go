@@ -109,6 +109,67 @@ func TestServeModeRemote(t *testing.T) {
 	}
 }
 
+// TestServeModeRemoteSharded: several comma-separated -remote
+// addresses run the same measurement through a consistent-hash
+// Router. The warm key must live on exactly one shard, the baseline's
+// distinct keys must spread across the fleet, and the broadcast
+// eviction must leave no baseline engine resident anywhere.
+func TestServeModeRemoteSharded(t *testing.T) {
+	const n = 3
+	servers := make([]*srj.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := srj.NewServer(&srj.ServerOptions{DatasetSize: 2000, MaxT: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		servers[i] = srv
+		addrs[i] = ts.URL
+	}
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-serve", "-remote", strings.Join(addrs, ","),
+		"-dataset", "uniform", "-l", "200", "-clients", "4", "-requests", "5", "-reqt", "200"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"engine warmed through the registry",
+		"cached-engine throughput",
+		"rebuild-per-request baseline",
+		"evicted 8 baseline engines",
+		"router:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("sharded serve output missing %q:\n%s", want, out.String())
+		}
+	}
+	var builds, entries uint64
+	warmHomes := 0
+	for i, srv := range servers {
+		st := srv.RegistryStats()
+		builds += st.Builds
+		entries += uint64(st.Entries)
+		if st.Entries > 0 {
+			warmHomes++
+		}
+		if !strings.Contains(out.String(), addrs[i]+" registry:") {
+			t.Errorf("output missing registry line for %s:\n%s", addrs[i], out.String())
+		}
+	}
+	// One build for the warm key plus one per baseline request,
+	// fleet-wide; after the broadcast eviction only the warm key's
+	// engine remains, on exactly one shard.
+	if builds != 1+4*2 {
+		t.Errorf("fleet builds = %d, want 9", builds)
+	}
+	if entries != 1 || warmHomes != 1 {
+		t.Errorf("fleet entries = %d on %d shards, want the warm key on exactly 1", entries, warmHomes)
+	}
+}
+
 // TestServeModeRemoteRejectsBase: -base means nothing remotely (the
 // dataset size is the server's -n), so combining them is an error
 // rather than a silently wrong benchmark.

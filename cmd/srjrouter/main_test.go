@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	srj "repro"
+)
+
+// startBackends brings up n in-process srjservers over small built-in
+// datasets and returns their base URLs.
+func startBackends(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := srj.NewServer(&srj.ServerOptions{DatasetSize: 2000, MaxT: 10_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		addrs[i] = ts.URL
+	}
+	return addrs
+}
+
+func TestRunNoBackends(t *testing.T) {
+	if err := run(context.Background(), nil, os.Stderr, nil); err == nil {
+		t.Fatal("no backends accepted")
+	}
+}
+
+// TestRouterEndToEnd boots the real binary path — flag parsing, ring
+// construction, listener — and serves an unmodified srj client
+// through it: the router proxy is wire-compatible with srjserver, so
+// the same client code works against a single server and a fleet.
+func TestRouterEndToEnd(t *testing.T) {
+	backends := startBackends(t, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-backends", backends[0] + "," + backends[1],
+			"-probe-interval", "100ms",
+			backends[2], // positional backends merge with -backends
+		}, os.Stderr, func(addr string) { addrc <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-errc:
+		t.Fatalf("router exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("router did not come up")
+	}
+
+	cl := srj.NewClient("http://" + addr)
+	if err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	key := srj.EngineKey{Dataset: "uniform", L: 300, Seed: 1}
+	src := cl.Bind(key)
+
+	// A seeded draw through the router proxy is byte-identical to the
+	// same draw straight from the key's shard: the proxy re-frames the
+	// stream, it does not reinterpret it.
+	res, err := src.Draw(ctx, srj.Request{T: 2000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 2000 {
+		t.Fatalf("got %d pairs", len(res.Pairs))
+	}
+	for _, b := range backends {
+		direct, err := srj.NewClient(b).Bind(key).Draw(ctx, srj.Request{T: 2000, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.Pairs {
+			if res.Pairs[i] != direct.Pairs[i] {
+				t.Fatalf("proxy and backend %s diverged at sample %d", b, i)
+			}
+		}
+	}
+
+	// The JSON transport proxies too.
+	pairs, err := cl.SampleJSON(ctx, srj.SampleRequest{Dataset: "uniform", L: 300, Seed: 1, T: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 100 {
+		t.Fatalf("JSON: got %d pairs", len(pairs))
+	}
+
+	// Semantic refusals surface through the proxy with their sentinel
+	// AND their pre-stream HTTP status intact: a refused binary draw
+	// is a 400, exactly as from srjserver — never a 200 hiding an
+	// error frame.
+	var apiErr *srj.APIError
+	if _, err := src.Draw(ctx, srj.Request{T: 10_001}); !errors.Is(err, srj.ErrSampleCap) {
+		t.Fatalf("over-cap through proxy: err = %v, want ErrSampleCap", err)
+	} else if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("over-cap through proxy: %v, want a pre-stream HTTP 400", err)
+	}
+	if _, err := cl.Bind(srj.EngineKey{Dataset: "no-such-set", L: 300}).Draw(ctx, srj.Request{T: 10}); err == nil {
+		t.Fatal("unknown dataset accepted through proxy")
+	}
+
+	// The rest of the srjserver client API works against the router
+	// unchanged: stats aggregate the fleet, the engine list
+	// concatenates it, and eviction broadcasts across it.
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Registry.Builds < 3 || st.MaxT != 10_000 {
+		t.Fatalf("aggregate stats = %+v, want >=3 fleet builds and the backends' MaxT", st)
+	}
+	engines, err := cl.Engines(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(engines) < 3 {
+		t.Fatalf("fleet engine list has %d entries, want >= 3", len(engines))
+	}
+	evicted, err := cl.EvictEngine(ctx, key)
+	if err != nil || !evicted {
+		t.Fatalf("broadcast evict through proxy: %v, %v", evicted, err)
+	}
+	if evicted, err = cl.EvictEngine(ctx, key); err != nil || evicted {
+		t.Fatalf("double evict through proxy: %v, %v (want false)", evicted, err)
+	}
+
+	// Routing telemetry lives on its own path, off the shared surface.
+	resp, err := http.Get("http://" + addr + "/v1/router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routing struct {
+		Backends []struct {
+			Addr    string `json:"addr"`
+			Healthy bool   `json:"healthy"`
+		} `json:"backends"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&routing)
+	resp.Body.Close()
+	if err != nil || len(routing.Backends) != 3 {
+		t.Fatalf("routing stats: %+v, err %v", routing, err)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not shut down")
+	}
+}

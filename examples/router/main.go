@@ -1,0 +1,90 @@
+// Sharded serving: the paper's amortization across a *fleet*. One
+// srjserver amortizes each engine build across its clients;
+// srj.NewRouter consistent-hashes engine keys across several servers,
+// so each key's Õ(n + m) preprocessing is paid on exactly one host
+// and the fleet's aggregate cache budget scales horizontally. The
+// router is itself a srj.Source once bound — the same Draw/DrawFunc
+// contract as srj.Engine and srj.Client — and transport failures fail
+// over along the ring mid-draw without the caller noticing.
+//
+// Run with:
+//
+//	go run ./examples/router
+//
+// Against real servers, replace the in-process listeners with
+// srjserver processes and hand srj.NewRouter their addresses — or run
+// `srjrouter -backends ...` and point any plain srj.NewClient at it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	srj "repro"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// The fleet: three srjservers, usually three hosts, here three
+	// in-process listeners. Equal dataset names must mean equal data
+	// on every shard — that is what makes shards interchangeable.
+	backends := make([]string, 3)
+	for i := range backends {
+		srv, err := srj.NewServer(&srj.ServerOptions{DatasetSize: 50_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, srv)
+		backends[i] = "http://" + ln.Addr().String()
+	}
+
+	rt, err := srj.NewRouter(backends, srj.RouterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Distinct keys land on distinct shards: each build happens once,
+	// on its key's home backend.
+	keys := []srj.EngineKey{
+		{Dataset: "nyc", L: 100, Algorithm: "bbst", Seed: 1},
+		{Dataset: "castreet", L: 50, Algorithm: "bbst", Seed: 1},
+		{Dataset: "uniform", L: 200, Algorithm: "bbst", Seed: 1},
+		{Dataset: "nyc", L: 250, Algorithm: "bbst", Seed: 1},
+	}
+	for _, key := range keys {
+		fmt.Printf("key %-18s -> %s\n", key, rt.Locate(key))
+	}
+
+	// Bound, the router is a Source: same contract, one more tier.
+	src := rt.Bind(keys[0])
+	start := time.Now()
+	res, err := src.Draw(ctx, srj.Request{T: 100_000, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drew %d samples through the ring in %v (cold: includes the shard's one-time build)\n",
+		res.Count(), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	if _, err = src.Draw(ctx, srj.Request{T: 100_000, Seed: 42}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm repeat: %v — and equal seeds returned identical samples whichever shard served them\n",
+		time.Since(start).Round(time.Millisecond))
+
+	// Per-backend routing and per-key assignment accounting.
+	for _, b := range rt.Stats().Backends {
+		fmt.Printf("backend %s: healthy=%v requests=%d failures=%d failovers=%d\n",
+			b.Addr, b.Healthy, b.Requests, b.Failures, b.Failovers)
+	}
+}

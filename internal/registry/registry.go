@@ -123,6 +123,19 @@ type call struct {
 
 // Registry is a concurrency-safe, memory-budgeted cache of built
 // engines. The zero value is not usable; construct with New.
+//
+// Every mutation path — Get's hit/miss/insert, explicit Evict, and
+// budget eviction — holds mu across its whole read-modify-write, and
+// preserves one structural invariant: entries and lru hold exactly
+// the same set, and bytes equals the summed size of that set. Two
+// consequences follow and are part of the contract: an engine
+// returned by Get stays usable when eviction races it (eviction only
+// drops the registry's reference — in-flight holders keep serving,
+// GC reclaims after the last one returns), and an Evict that races a
+// build finds nothing (an in-flight build is not resident; its insert
+// lands atomically afterwards). The race-focused tests in
+// registry_race_test.go hammer these interleavings under -race and
+// assert the invariant at quiescent points.
 type Registry struct {
 	build    BuildFunc
 	budget   int64         // bytes; 0 = unlimited

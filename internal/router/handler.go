@@ -1,0 +1,230 @@
+package router
+
+// The router's HTTP surface: the same sampling API internal/server
+// speaks, proxied shard-side. srjrouter mounts this so existing
+// clients — srj.NewClient, srjbench -remote, anything speaking the
+// wire protocol — point at one address and get the whole fleet:
+// requests route to the key's shard, failover included, and every
+// endpoint answers in the exact shapes srjserver does (same status
+// codes, same error codes, same JSON bodies). Routing-specific
+// telemetry lives on its own path, /v1/router, so the shared paths
+// stay byte-compatible.
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/registry"
+	"repro/internal/server"
+)
+
+// writeDeadline bounds one response write so a client that stops
+// reading frees the handler (mirrors the server's per-frame
+// deadlines).
+const writeDeadline = 30 * time.Second
+
+// Handler returns the router's HTTP API — srjserver's surface,
+// fleet-wide:
+//
+//	POST   /v1/sample  — routed draw; JSON or the framed binary
+//	                     stream, wire-compatible with srjserver
+//	GET    /v1/stats   — aggregate fleet stats in srjserver's
+//	                     StatsResponse shape (registry counters
+//	                     summed, engines concatenated)
+//	GET    /v1/engines — every backend's resident engines
+//	DELETE /v1/engines — broadcast eviction of one key
+//	GET    /v1/router  — routing stats (Stats: per-backend health
+//	                     and counters, per-key assignments)
+//	GET    /healthz    — 200 while at least one backend is healthy
+//
+// Sample caps and dataset validation live on the backends; their
+// refusals proxy through unchanged (same status, same error code).
+// The one router-side bound is the JSON transport cap
+// (server.DefaultMaxTJSON): the proxy buffers JSON responses in its
+// own memory, so that bound is the router's, not the backends' —
+// bulk transfers belong on the streamed binary transport either way.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sample", r.handleSample)
+	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	mux.HandleFunc("GET /v1/engines", r.handleEngines)
+	mux.HandleFunc("DELETE /v1/engines", r.handleEvict)
+	mux.HandleFunc("GET /v1/router", r.handleRouterStats)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	return mux
+}
+
+func (r *Router) handleSample(w http.ResponseWriter, req *http.Request) {
+	sreq, binaryOut, ok := server.DecodeSampleRequest(w, req, 0, server.DefaultMaxTJSON)
+	if !ok {
+		return
+	}
+	bound := r.Bind(sreq.Key())
+	if binaryOut {
+		r.streamBinary(req, w, bound, engine.Request{T: sreq.T, Seed: sreq.DrawSeed})
+		return
+	}
+	// The JSON transport buffers, but not before the fleet has seen
+	// the request: Draw without Into caps its preallocation (at
+	// server.MaxFramePairs) and grows only as validated samples
+	// actually arrive — a burst of bogus-key requests costs the
+	// router nothing, exactly as on srjserver, where the JSON buffer
+	// exists only after registry.Get accepted the key.
+	res, err := bound.Draw(req.Context(), engine.Request{T: sreq.T, Seed: sreq.DrawSeed})
+	if err != nil {
+		server.WriteError(w, server.StatusFor(err), server.CodeFor(err), "sampling: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(writeDeadline))
+	json.NewEncoder(w).Encode(server.SampleResponse{Count: len(res.Pairs), Pairs: res.Pairs})
+}
+
+// streamBinary re-frames the routed draw onto the response, flushing
+// per batch. The stream header is deferred until the first batch
+// arrives, so a refusal that reaches us before any samples — a
+// backend's ErrSampleCap, a bad key, even a shard that died before
+// delivering and exhausted failover — answers with the same pre-
+// stream HTTP status srjserver would send, not a 200 hiding an error
+// frame. Errors after the first frame arrive as in-stream error
+// frames carrying the same code a backend would; mid-stream failover
+// happens underneath, invisibly, so the client only ever sees one
+// contiguous stream.
+func (r *Router) streamBinary(req *http.Request, w http.ResponseWriter, bound *Bound, dreq engine.Request) {
+	rc := http.NewResponseController(w)
+	flusher, _ := w.(http.Flusher)
+	wroteHeader := false
+	var scratch []byte
+	err := bound.DrawFunc(req.Context(), dreq, func(batch []geom.Pair) error {
+		rc.SetWriteDeadline(time.Now().Add(writeDeadline))
+		if !wroteHeader {
+			w.Header().Set("Content-Type", server.ContentTypeBinary)
+			if herr := server.WriteStreamHeader(w); herr != nil {
+				return herr
+			}
+			wroteHeader = true
+		}
+		var werr error
+		scratch, werr = server.WriteStreamFrame(w, batch, scratch)
+		if werr != nil {
+			return werr
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	switch {
+	case err != nil && !wroteHeader:
+		server.WriteError(w, server.StatusFor(err), server.CodeFor(err), "sampling: %v", err)
+	case err != nil:
+		server.WriteStreamError(w, server.CodeFor(err), err.Error())
+	case !wroteHeader:
+		// Unreachable with t > 0, but a complete empty stream is the
+		// right degenerate answer.
+		w.Header().Set("Content-Type", server.ContentTypeBinary)
+		rc.SetWriteDeadline(time.Now().Add(writeDeadline))
+		if herr := server.WriteStreamHeader(w); herr != nil {
+			return
+		}
+		server.WriteStreamEnd(w)
+	default:
+		server.WriteStreamEnd(w)
+	}
+}
+
+// handleStats aggregates the fleet into srjserver's StatsResponse
+// shape: registry counters summed, resident engines concatenated,
+// MaxT the smallest cap any reachable backend enforces. A client
+// that watched one srjserver watches the whole fleet unchanged.
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	stats, err := r.ServerStats(req.Context())
+	if len(stats) == 0 {
+		server.WriteError(w, http.StatusBadGateway, server.CodeInternal,
+			"no backend reachable for stats: %v", err)
+		return
+	}
+	agg := server.StatsResponse{UptimeSecs: r.Uptime().Seconds()}
+	for _, st := range stats {
+		if agg.MaxT == 0 || (st.MaxT > 0 && st.MaxT < agg.MaxT) {
+			agg.MaxT = st.MaxT
+		}
+		agg.Registry.Hits += st.Registry.Hits
+		agg.Registry.Misses += st.Registry.Misses
+		agg.Registry.Builds += st.Registry.Builds
+		agg.Registry.Evictions += st.Registry.Evictions
+		agg.Registry.ManualEvictions += st.Registry.ManualEvictions
+		agg.Registry.Entries += st.Registry.Entries
+		agg.Registry.Bytes += st.Registry.Bytes
+		agg.Registry.Budget += st.Registry.Budget
+		agg.Engines = append(agg.Engines, st.Engines...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(agg)
+}
+
+// handleEngines concatenates every backend's resident engines —
+// /v1/engines fleet-wide. Unreachable backends contribute nothing.
+func (r *Router) handleEngines(w http.ResponseWriter, req *http.Request) {
+	stats, err := r.ServerStats(req.Context())
+	if len(stats) == 0 {
+		server.WriteError(w, http.StatusBadGateway, server.CodeInternal,
+			"no backend reachable for engines: %v", err)
+		return
+	}
+	engines := make([]registry.EntryInfo, 0, len(stats))
+	for _, st := range stats {
+		engines = append(engines, st.Engines...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(engines)
+}
+
+// handleEvict broadcasts one key's eviction across the fleet — the
+// body and response are exactly srjserver's DELETE /v1/engines. A
+// partial broadcast (some backend unreachable) with at least one
+// eviction still answers evicted=true: the wire shape has no partial
+// state, and the backends that answered are clean.
+func (r *Router) handleEvict(w http.ResponseWriter, req *http.Request) {
+	sreq, ok := server.DecodeEvictRequest(w, req)
+	if !ok {
+		return
+	}
+	evicted, err := r.EvictEngine(req.Context(), sreq.Key())
+	if err != nil && !evicted {
+		server.WriteError(w, http.StatusBadGateway, server.CodeInternal, "evicting %s: %v", sreq.Key(), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(server.EvictResponse{Evicted: evicted})
+}
+
+// handleRouterStats serves the routing-specific telemetry.
+func (r *Router) handleRouterStats(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(r.Stats())
+}
+
+// handleHealthz answers from the health flags the background prober
+// and request outcomes maintain — a load balancer polling /healthz
+// every second must not multiply probe traffic onto the fleet, and a
+// single slow probe must not flap a backend's keys onto its ring
+// successor. Callers needing a live fleet check use Health/ProbeNow.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	healthy := 0
+	for _, b := range r.backends {
+		if b.healthy.Load() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		server.WriteError(w, http.StatusServiceUnavailable, server.CodeInternal,
+			"none of the %d backends is healthy", len(r.backends))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}

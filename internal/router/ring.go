@@ -1,0 +1,131 @@
+package router
+
+// The consistent-hash ring. Every backend contributes VNodes points
+// hashed from "addr#i"; an engine key hashes onto the ring and is
+// owned by the first point clockwise from it. Two properties carry
+// the router:
+//
+//   - Balance: with enough virtual nodes the arc a backend owns
+//     concentrates around 1/n of the ring, so engine keys — and with
+//     them the fleet's aggregate memory — spread evenly.
+//   - Stability: adding or removing one backend moves only the keys
+//     whose owning arc changed, ~1/n of them, so a fleet resize
+//     invalidates ~1/n of the fleet's cached engines instead of all
+//     of them (a modulo assignment would reshuffle nearly every key).
+//
+// The walk order past the owner (the successor backends, each distinct)
+// doubles as the failover order: a request whose shard is unreachable
+// retries on the next arc, which is exactly where the key would live
+// if the shard were removed.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/registry"
+)
+
+// ringPoint is one virtual node: a position on the ring owned by a
+// backend index.
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// ring is an immutable consistent-hash ring over backend indices
+// 0..n-1. Build with buildRing.
+type ring struct {
+	points   []ringPoint // sorted by (hash, backend)
+	backends int
+}
+
+// buildRing hashes vnodes virtual nodes per backend address onto the
+// ring. The address — not the index — seeds the hashes, so a
+// backend's arcs do not move when the list is reordered or extended.
+func buildRing(addrs []string, vnodes int) *ring {
+	r := &ring{
+		points:   make([]ringPoint, 0, len(addrs)*vnodes),
+		backends: len(addrs),
+	}
+	for bi, addr := range addrs {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hashString(addr + "#" + strconv.Itoa(v)),
+				backend: bi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r
+}
+
+// owner returns the backend owning hash h: the one whose virtual node
+// is first at or clockwise from h.
+func (r *ring) owner(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].backend
+}
+
+// sequence appends to out every distinct backend in ring-walk order
+// from h: the owner first, then each successor exactly once. This is
+// the failover order for the key hashing to h.
+func (r *ring) sequence(h uint64, out []int) []int {
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.backends)
+	for k := 0; k < len(r.points) && len(out) < r.backends; k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}
+
+// hashKey maps an engine key onto the ring. The encoding is explicit
+// field bytes (not Key.String) so no two distinct keys can collide by
+// formatting, and L hashes by its bit pattern.
+func hashKey(key registry.Key) uint64 {
+	h := fnv.New64a()
+	var num [8]byte
+	h.Write([]byte(key.Dataset))
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(num[:], math.Float64bits(key.L))
+	h.Write(num[:])
+	h.Write([]byte(key.Algorithm))
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(num[:], key.Seed)
+	h.Write(num[:])
+	return mix64(h.Sum64())
+}
+
+// hashString is hashKey for virtual-node labels.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a alone disperses the short,
+// near-identical "addr#i" vnode labels poorly — arcs cluster and a
+// backend can end up owning a multiple of its fair share — so every
+// ring hash runs through a full-avalanche mix.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,134 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+func testAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://shard-%d:8080", i)
+	}
+	return out
+}
+
+func testKeys(n int) []registry.Key {
+	out := make([]registry.Key, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, registry.Key{
+			Dataset: fmt.Sprintf("ds-%d", i%37), L: float64(i%11) + 0.5,
+			Algorithm: "bbst", Seed: uint64(i),
+		})
+	}
+	return out
+}
+
+// TestRingSequenceCoversAllBackends: the failover walk visits every
+// backend exactly once, starting at the owner.
+func TestRingSequenceCoversAllBackends(t *testing.T) {
+	const n = 7
+	r := buildRing(testAddrs(n), DefaultVNodes)
+	for _, key := range testKeys(100) {
+		h := hashKey(key)
+		seq := r.sequence(h, nil)
+		if len(seq) != n {
+			t.Fatalf("sequence visited %d of %d backends", len(seq), n)
+		}
+		if seq[0] != r.owner(h) {
+			t.Fatalf("sequence starts at %d, owner is %d", seq[0], r.owner(h))
+		}
+		seen := make([]bool, n)
+		for _, bi := range seq {
+			if bi < 0 || bi >= n || seen[bi] {
+				t.Fatalf("bad or repeated backend %d in %v", bi, seq)
+			}
+			seen[bi] = true
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVNodes virtual nodes, key ownership
+// spreads across the backends — no backend owns more than ~3x or less
+// than ~1/3 of its fair share. (The inputs are fixed, so this is a
+// deterministic property of the hash, not a flaky statistical one.)
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		r := buildRing(testAddrs(n), DefaultVNodes)
+		keys := testKeys(4000)
+		counts := make([]int, n)
+		for _, key := range keys {
+			counts[r.owner(hashKey(key))]++
+		}
+		fair := len(keys) / n
+		for bi, c := range counts {
+			if c < fair/3 || c > 3*fair {
+				t.Fatalf("n=%d: backend %d owns %d keys (fair share %d): %v", n, bi, c, fair, counts)
+			}
+		}
+	}
+}
+
+// TestRingStability: resizing the fleet by one backend moves roughly
+// 1/n of the keys and never moves a key between two surviving
+// backends.
+func TestRingStability(t *testing.T) {
+	const n = 5
+	base := buildRing(testAddrs(n), DefaultVNodes)
+	grown := buildRing(testAddrs(n+1), DefaultVNodes)
+	keys := testKeys(4000)
+	moved := 0
+	for _, key := range keys {
+		h := hashKey(key)
+		was, is := base.owner(h), grown.owner(h)
+		if was != is {
+			moved++
+			if is != n {
+				t.Fatalf("key moved from %d to surviving backend %d", was, is)
+			}
+		}
+	}
+	if f := float64(moved) / float64(len(keys)); f == 0 || f > 2.0/float64(n+1) {
+		t.Fatalf("resize moved %.1f%% of keys, want ~%.1f%%", f*100, 100.0/float64(n+1))
+	}
+}
+
+// TestRingOrderIndependence: the ring hashes addresses, not list
+// positions — permuting the backend list must not move any key's
+// home address.
+func TestRingOrderIndependence(t *testing.T) {
+	addrs := testAddrs(4)
+	perm := []string{addrs[2], addrs[0], addrs[3], addrs[1]}
+	a := buildRing(addrs, DefaultVNodes)
+	b := buildRing(perm, DefaultVNodes)
+	for _, key := range testKeys(500) {
+		h := hashKey(key)
+		if addrs[a.owner(h)] != perm[b.owner(h)] {
+			t.Fatalf("key %v moved when the backend list was permuted", key)
+		}
+	}
+}
+
+// TestHashKeyDistinguishesFields: keys differing in exactly one field
+// hash apart — the explicit field encoding leaves no room for two
+// keys to collide by string formatting.
+func TestHashKeyDistinguishesFields(t *testing.T) {
+	base := registry.Key{Dataset: "nyc", L: 100, Algorithm: "bbst", Seed: 1}
+	variants := []registry.Key{
+		{Dataset: "nyc2", L: 100, Algorithm: "bbst", Seed: 1},
+		{Dataset: "nyc", L: 100.5, Algorithm: "bbst", Seed: 1},
+		{Dataset: "nyc", L: 100, Algorithm: "kds", Seed: 1},
+		{Dataset: "nyc", L: 100, Algorithm: "bbst", Seed: 2},
+	}
+	h := hashKey(base)
+	for _, v := range variants {
+		if hashKey(v) == h {
+			t.Fatalf("key %v collides with %v", v, base)
+		}
+	}
+	if hashKey(base) != h {
+		t.Fatal("hashKey is not deterministic")
+	}
+}

@@ -1,0 +1,578 @@
+// Package router shards engine keys across a fleet of srjserver
+// backends. The registry (one process) amortizes preprocessing per
+// key; the server (one host) amortizes it across clients; the router
+// amortizes across *hosts*: a consistent-hash ring assigns each
+// (dataset, l, algorithm, seed) key a home backend, so the fleet's
+// aggregate memory budget scales horizontally and a key's structures
+// are built on exactly one host instead of everywhere.
+//
+// The Router is itself a Source factory — Bind fixes a key and
+// returns the same Draw/DrawFunc contract srj.Engine and srj.Client
+// serve, so callers cannot tell a sharded fleet from a single engine,
+// and the shared conformance suite holds it to that.
+//
+// Failure handling draws one line: *transport* failures (connection
+// refused, a stream dying mid-frame, a malformed response) mark the
+// backend unhealthy and fail the draw over to the next ring node —
+// which is exactly where the key would live if the backend were
+// removed, so retried keys land where a ring resize would put them
+// anyway. *Semantic* answers (an HTTP error or in-stream error frame
+// from a backend that understood the request: ErrSampleCap,
+// ErrBadRequest, ErrEmptyJoin, ErrLowAcceptance) and the caller's own
+// context expiring surface unchanged — retrying a request the fleet
+// understood and refused would turn every client error into n client
+// errors and every cancellation into a stampede.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/registry"
+	"repro/internal/server"
+)
+
+// Defaults for optional Options fields.
+const (
+	// DefaultVNodes is the virtual nodes per backend: enough that the
+	// largest arc a backend owns stays close to 1/n of the ring.
+	DefaultVNodes = 64
+	// DefaultProbeInterval paces the background health probes.
+	DefaultProbeInterval = 5 * time.Second
+	// probeTimeout bounds one /healthz probe.
+	probeTimeout = 2 * time.Second
+	// maxKeyStats bounds the per-key routing table so adversarial key
+	// churn cannot grow it without bound; keys beyond the cap still
+	// route (the ring is stateless), they just go uncounted.
+	maxKeyStats = 1024
+)
+
+// Options configures New. The zero value serves: DefaultVNodes
+// virtual nodes, DefaultProbeInterval background probing, and
+// http.DefaultClient.
+type Options struct {
+	// VNodes is the virtual nodes per backend (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval paces background /healthz probes of every backend
+	// (default DefaultProbeInterval); negative disables probing —
+	// health is then tracked passively, from request outcomes only.
+	ProbeInterval time.Duration
+	// HTTPClient is shared by all backend clients; nil uses
+	// http.DefaultClient. For many concurrent draws use a transport
+	// with MaxIdleConnsPerHost sized to the concurrency.
+	HTTPClient *http.Client
+}
+
+// backend is one srjserver plus its routing state.
+type backend struct {
+	addr   string
+	client *server.Client
+
+	healthy   atomic.Bool   // flipped by probes and request outcomes
+	requests  atomic.Uint64 // draw attempts routed here
+	failures  atomic.Uint64 // attempts the backend answered with an error or failed in transport
+	failovers atomic.Uint64 // transport failures that moved a draw onward
+}
+
+// keyCounter is the per-key routing record.
+type keyCounter struct {
+	backend   string // backend that served the key's latest draw
+	draws     uint64
+	failovers uint64
+}
+
+// Router routes engine keys across a fixed set of srjserver backends
+// by consistent hashing. Construct with New; Close stops the health
+// prober. Safe for concurrent use.
+type Router struct {
+	backends []*backend
+	ring     *ring
+	start    time.Time
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
+
+	mu          sync.Mutex
+	keys        map[registry.Key]*keyCounter
+	keysDropped uint64
+}
+
+// New returns a router over the given backend base URLs (e.g.
+// "http://shard0:8080"). The address strings are identity: the ring
+// hashes them, so spelling a backend two ways makes two ring members.
+func New(backends []string, opts Options) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("router: at least one backend is required")
+	}
+	if opts.VNodes <= 0 {
+		opts.VNodes = DefaultVNodes
+	}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = DefaultProbeInterval
+	}
+	addrs := make([]string, 0, len(backends))
+	seen := map[string]bool{}
+	for _, a := range backends {
+		a = strings.TrimRight(strings.TrimSpace(a), "/")
+		if a == "" {
+			return nil, errors.New("router: empty backend address")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("router: duplicate backend %q", a)
+		}
+		seen[a] = true
+		addrs = append(addrs, a)
+	}
+	r := &Router{
+		ring:  buildRing(addrs, opts.VNodes),
+		start: time.Now(),
+		keys:  make(map[registry.Key]*keyCounter),
+	}
+	for _, a := range addrs {
+		b := &backend{addr: a, client: server.NewClient(a, opts.HTTPClient)}
+		b.healthy.Store(true) // optimistic until a probe or request says otherwise
+		r.backends = append(r.backends, b)
+	}
+	if opts.ProbeInterval > 0 {
+		r.probeStop = make(chan struct{})
+		r.probeDone = make(chan struct{})
+		go r.probeLoop(opts.ProbeInterval)
+	}
+	return r, nil
+}
+
+// Close stops the background health prober. Draws through the router
+// keep working after Close; health is then tracked passively.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() {
+		if r.probeStop != nil {
+			close(r.probeStop)
+			<-r.probeDone
+		}
+	})
+}
+
+// probeLoop probes every backend once per interval until Close.
+func (r *Router) probeLoop(interval time.Duration) {
+	defer close(r.probeDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.probeStop:
+			return
+		case <-t.C:
+			r.ProbeNow(context.Background())
+		}
+	}
+}
+
+// broadcast runs fn against every backend concurrently and returns
+// the per-backend results, indexed like r.backends. Fleet-wide
+// operations (probes, evictions, stats collection) use it so one
+// slow backend costs its own timeout, not everyone's summed.
+func (r *Router) broadcast(fn func(i int, b *backend) error) []error {
+	errs := make([]error, len(r.backends))
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			errs[i] = fn(i, b)
+		}(i, b)
+	}
+	wg.Wait()
+	return errs
+}
+
+// ProbeNow probes every backend's /healthz once, concurrently,
+// updates the health flags, and returns the number healthy. The
+// background prober calls it on its interval; callers wanting fresh
+// health before a burst (or with probing disabled) call it directly.
+func (r *Router) ProbeNow(ctx context.Context) int {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	healthy := 0
+	for _, err := range r.broadcast(func(_ int, b *backend) error {
+		err := b.client.Health(ctx)
+		b.healthy.Store(err == nil)
+		return err
+	}) {
+		if err == nil {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+// Health reports whether the fleet can serve: it probes every backend
+// now and errors only when none answers — the ring routes around any
+// smaller outage.
+func (r *Router) Health(ctx context.Context) error {
+	if n := r.ProbeNow(ctx); n == 0 {
+		return fmt.Errorf("router: none of the %d backends is healthy", len(r.backends))
+	}
+	return nil
+}
+
+// Backends lists the backend base URLs in construction order.
+func (r *Router) Backends() []string {
+	out := make([]string, len(r.backends))
+	for i, b := range r.backends {
+		out[i] = b.addr
+	}
+	return out
+}
+
+// Locate returns the backend address that owns key on the ring — the
+// stable assignment, ignoring health (failover is a per-draw detour,
+// not a reassignment). The same key normalization as Bind applies.
+func (r *Router) Locate(key registry.Key) string {
+	return r.backends[r.ring.owner(hashKey(normalizeKey(key)))].addr
+}
+
+// normalizeKey applies the fleet-wide default algorithm, exactly like
+// Client.Bind and the server's SampleRequest.Key, so the ring and the
+// backends agree on what key a request addresses.
+func normalizeKey(key registry.Key) registry.Key {
+	if key.Algorithm == "" {
+		key.Algorithm = "bbst"
+	}
+	return key
+}
+
+// Bound is a Router fixed to one engine key: a Source. Create with
+// Bind.
+type Bound struct {
+	r   *Router
+	key registry.Key
+}
+
+// Bind fixes one engine key and returns the Source serving it through
+// the ring. An empty Algorithm defaults to "bbst".
+func (r *Router) Bind(key registry.Key) *Bound {
+	return &Bound{r: r, key: normalizeKey(key)}
+}
+
+// Key returns the engine key the source is bound to.
+func (b *Bound) Key() registry.Key { return b.key }
+
+// Draw serves one request through the key's shard (failing over along
+// the ring on transport errors). See the srj.Source contract; with
+// req.Into the accumulation is allocation-free.
+func (b *Bound) Draw(ctx context.Context, req engine.Request) (engine.Result, error) {
+	start := time.Now()
+	t, err := req.Resolve()
+	if err != nil {
+		return engine.Result{Elapsed: time.Since(start)}, err
+	}
+	var out []geom.Pair
+	if req.Into != nil {
+		// Total delivery is bounded by t <= len(Into) (each attempt
+		// aborts on over-delivery and retries only fill the gap), so
+		// the appends never reallocate: Result.Pairs stays backed by
+		// the caller's buffer.
+		out = req.Into[:0]
+	} else {
+		capHint := t
+		if capHint > server.MaxFramePairs {
+			capHint = server.MaxFramePairs
+		}
+		out = make([]geom.Pair, 0, capHint)
+	}
+	err = b.r.drawFunc(ctx, b.key, t, req.Seed, func(batch []geom.Pair) error {
+		out = append(out, batch...)
+		return nil
+	})
+	return engine.Result{Pairs: out, Elapsed: time.Since(start)}, err
+}
+
+// DrawFunc serves one request, streaming each batch to fn as it
+// arrives off the wire from the key's shard. The batch's backing
+// array is reused; fn must not retain it. See the srj.Source
+// contract: req.Into never receives samples here.
+func (b *Bound) DrawFunc(ctx context.Context, req engine.Request, fn func(batch []geom.Pair) error) error {
+	t, err := req.ResolveStream()
+	if err != nil {
+		return err
+	}
+	return b.r.drawFunc(ctx, b.key, t, req.Seed, fn)
+}
+
+// drawFunc is the routed draw: walk the key's ring sequence (healthy
+// backends first), stream from the first that answers, and on a
+// transport failure resume on the next node without replaying what fn
+// already received — the retry re-requests the full stream and skips
+// the delivered prefix, so a seeded draw stays byte-identical whether
+// or not a shard died under it, and an unseeded one never double-
+// delivers.
+func (r *Router) drawFunc(ctx context.Context, key registry.Key, t int, seed uint64, fn func(batch []geom.Pair) error) error {
+	sreq := server.SampleRequest{
+		Dataset:   key.Dataset,
+		L:         key.L,
+		Algorithm: key.Algorithm,
+		Seed:      key.Seed,
+		DrawSeed:  seed,
+		T:         t,
+	}
+	order := r.order(key)
+	delivered := 0
+	failovers := 0
+	var lastErr error
+	for _, bi := range order {
+		b := r.backends[bi]
+		b.requests.Add(1)
+		skip := delivered
+		var fnErr error
+		err := b.client.SampleFunc(ctx, sreq, func(batch []geom.Pair) error {
+			if skip > 0 {
+				if len(batch) <= skip {
+					skip -= len(batch)
+					return nil
+				}
+				batch = batch[skip:]
+				skip = 0
+			}
+			delivered += len(batch)
+			if ferr := fn(batch); ferr != nil {
+				fnErr = ferr
+				return ferr
+			}
+			return nil
+		})
+		if err == nil {
+			b.healthy.Store(true)
+			r.noteKey(key, b.addr, failovers)
+			return nil
+		}
+		if fnErr != nil {
+			// fn's own error is returned verbatim and never retried
+			// (and never counted against the backend): the caller
+			// aborted the draw, the fleet didn't fail it.
+			return fnErr
+		}
+		switch classify(err) {
+		case errAnswer:
+			// The backend is alive — it answered, with a refusal or a
+			// sampler failure. Surface it unchanged; retrying an
+			// answer on every shard would turn one client error into
+			// n of them.
+			b.failures.Add(1)
+			r.noteKey(key, b.addr, failovers)
+			return err
+		case errCaller:
+			// The caller's own context expired; nobody failed.
+			return err
+		}
+		// Transport failure: mark the backend down (the prober will
+		// bring it back) and resume on the next ring node.
+		b.failures.Add(1)
+		b.healthy.Store(false)
+		b.failovers.Add(1)
+		failovers++
+		lastErr = err
+	}
+	return fmt.Errorf("router: all %d backends failed for %s: %w", len(order), key, lastErr)
+}
+
+// order returns the backends to try for key: its ring sequence,
+// stably partitioned so currently-healthy nodes come first. With
+// everyone healthy this is exactly the ring walk from the key's
+// owner; with the owner down, the first healthy successor serves
+// without waiting out a connection timeout. Each health flag is
+// loaded exactly once — a flag flipping between two reads (a probe
+// racing a draw) must not drop a backend from, or duplicate it in,
+// the failover order.
+func (r *Router) order(key registry.Key) []int {
+	seq := r.ring.sequence(hashKey(key), make([]int, 0, len(r.backends)))
+	healthy := make([]bool, len(r.backends))
+	for _, bi := range seq {
+		healthy[bi] = r.backends[bi].healthy.Load()
+	}
+	out := make([]int, 0, len(seq))
+	for _, bi := range seq {
+		if healthy[bi] {
+			out = append(out, bi)
+		}
+	}
+	for _, bi := range seq {
+		if !healthy[bi] {
+			out = append(out, bi)
+		}
+	}
+	return out
+}
+
+// errKind sorts a failed draw attempt by whose fault it is, because
+// each answer gets different handling: answers surface (and count
+// against the backend), caller cancellations surface (and count
+// against nobody), transport failures fail over.
+type errKind int
+
+const (
+	// errAnswer: the backend understood the request and answered with
+	// an error — an *server.APIError or *server.StreamError, including
+	// server-side timeouts.
+	errAnswer errKind = iota
+	// errCaller: the caller's own context expired or was canceled;
+	// the fleet did nothing wrong.
+	errCaller
+	// errTransport: a failure to communicate — connection refused,
+	// TLS failures, streams truncated mid-frame, malformed responses,
+	// over- and under-delivery. Eligible for failover.
+	errTransport
+)
+
+// classify maps a draw attempt's error onto its errKind. Order
+// matters: an APIError carrying a server-side timeout code unwraps to
+// context.DeadlineExceeded too, and it is an answer, not the caller's
+// context.
+func classify(err error) errKind {
+	var apiErr *server.APIError
+	var streamErr *server.StreamError
+	if errors.As(err, &apiErr) || errors.As(err, &streamErr) {
+		return errAnswer
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return errCaller
+	}
+	return errTransport
+}
+
+// noteKey folds one completed draw into the per-key routing table.
+func (r *Router) noteKey(key registry.Key, addr string, failovers int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kc, ok := r.keys[key]
+	if !ok {
+		if len(r.keys) >= maxKeyStats {
+			r.keysDropped++
+			return
+		}
+		kc = &keyCounter{}
+		r.keys[key] = kc
+	}
+	kc.backend = addr
+	kc.draws++
+	kc.failovers += uint64(failovers)
+}
+
+// BackendStats is one backend's routing counters.
+type BackendStats struct {
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Requests uint64 `json:"requests"` // draw attempts routed here
+	// Failures counts attempts the backend answered with an error or
+	// failed in transport. Caller-side aborts — an fn error, the
+	// caller's own context expiring — are not the backend's failure
+	// and are not counted, so this number is alertable.
+	Failures  uint64 `json:"failures"`
+	Failovers uint64 `json:"failovers"` // transport failures that moved a draw onward
+}
+
+// KeyStats is one engine key's routing record.
+type KeyStats struct {
+	Key       registry.Key `json:"key"`
+	Backend   string       `json:"backend"` // backend that served the latest draw
+	Draws     uint64       `json:"draws"`
+	Failovers uint64       `json:"failovers"`
+}
+
+// Stats is a snapshot of the router's routing state: per-backend and
+// per-key counters (the latter capped at maxKeyStats tracked keys;
+// KeysUntracked counts draws for keys beyond the cap).
+type Stats struct {
+	Backends      []BackendStats `json:"backends"`
+	Keys          []KeyStats     `json:"keys"`
+	KeysUntracked uint64         `json:"keys_untracked,omitempty"`
+}
+
+// Stats snapshots the routing counters. Under concurrent traffic the
+// fields are individually, not jointly, consistent.
+func (r *Router) Stats() Stats {
+	st := Stats{Backends: make([]BackendStats, 0, len(r.backends))}
+	for _, b := range r.backends {
+		st.Backends = append(st.Backends, BackendStats{
+			Addr:      b.addr,
+			Healthy:   b.healthy.Load(),
+			Requests:  b.requests.Load(),
+			Failures:  b.failures.Load(),
+			Failovers: b.failovers.Load(),
+		})
+	}
+	r.mu.Lock()
+	st.Keys = make([]KeyStats, 0, len(r.keys))
+	for key, kc := range r.keys {
+		st.Keys = append(st.Keys, KeyStats{
+			Key:       key,
+			Backend:   kc.backend,
+			Draws:     kc.draws,
+			Failovers: kc.failovers,
+		})
+	}
+	st.KeysUntracked = r.keysDropped
+	r.mu.Unlock()
+	sort.Slice(st.Keys, func(i, j int) bool { return st.Keys[i].Key.String() < st.Keys[j].Key.String() })
+	return st
+}
+
+// EvictEngine asks every backend (concurrently) to drop the resident
+// engine for key. It broadcasts rather than routing: failover may
+// have built the engine on any ring successor, and cleanup must find
+// it wherever it landed. evicted reports whether any backend dropped
+// one; err reports backends that could not be asked — both can be
+// set at once, and evicted=true alongside an error means an
+// unreachable backend may still hold the engine.
+func (r *Router) EvictEngine(ctx context.Context, key registry.Key) (evicted bool, err error) {
+	key = normalizeKey(key)
+	dropped := make([]bool, len(r.backends))
+	errs := r.broadcast(func(i int, b *backend) error {
+		ok, err := b.client.EvictEngine(ctx, key)
+		dropped[i] = ok
+		return err
+	})
+	for i := range r.backends {
+		evicted = evicted || dropped[i]
+		if errs[i] != nil && err == nil {
+			err = fmt.Errorf("router: evicting on %s: %w", r.backends[i].addr, errs[i])
+		}
+	}
+	return evicted, err
+}
+
+// ServerStats fetches /v1/stats from every backend concurrently,
+// keyed by address. Unreachable backends are omitted; the first
+// error is returned alongside whatever was collected.
+func (r *Router) ServerStats(ctx context.Context) (map[string]server.StatsResponse, error) {
+	stats := make([]server.StatsResponse, len(r.backends))
+	errs := r.broadcast(func(i int, b *backend) error {
+		var err error
+		stats[i], err = b.client.Stats(ctx)
+		return err
+	})
+	out := make(map[string]server.StatsResponse, len(r.backends))
+	var firstErr error
+	for i, b := range r.backends {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("router: stats from %s: %w", b.addr, errs[i])
+			}
+			continue
+		}
+		out[b.addr] = stats[i]
+	}
+	return out, firstErr
+}
+
+// Uptime reports how long the router has been up.
+func (r *Router) Uptime() time.Duration { return time.Since(r.start) }

@@ -56,7 +56,7 @@ func (e *APIError) Unwrap() error { return sentinelFor(e.Code) }
 func apiError(resp *http.Response) error {
 	var body errorResponse
 	msg := resp.Status
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&body); err == nil && body.Error != "" {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, MaxBodyBytes)).Decode(&body); err == nil && body.Error != "" {
 		msg = body.Error
 	}
 	return &APIError{Status: resp.StatusCode, Code: body.Code, Message: msg}
@@ -100,8 +100,8 @@ func (c *Client) Sample(ctx context.Context, req SampleRequest) ([]geom.Pair, er
 	// prevent. Oversized requests fail at the server before the slice
 	// ever needs to grow past this.
 	capHint := req.T
-	if capHint > maxFramePairs {
-		capHint = maxFramePairs
+	if capHint > MaxFramePairs {
+		capHint = MaxFramePairs
 	}
 	out := make([]geom.Pair, 0, capHint)
 	err := c.SampleFunc(ctx, req, func(batch []geom.Pair) error {

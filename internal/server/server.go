@@ -52,9 +52,9 @@ const (
 	// transport.
 	DefaultMaxTJSON = 1 << 18
 	DefaultTimeout  = 30 * time.Second
-	// maxBodyBytes bounds a /v1/sample request body; requests are a
+	// MaxBodyBytes bounds a /v1/sample request body; requests are a
 	// few short fields, so 1 MiB is generous.
-	maxBodyBytes = 1 << 20
+	MaxBodyBytes = 1 << 20
 )
 
 // Config parameterizes a Server.
@@ -190,15 +190,18 @@ type errorResponse struct {
 	Code  string `json:"code,omitempty"`
 }
 
-// writeError answers with a JSON error body carrying apiCode.
-func writeError(w http.ResponseWriter, status int, apiCode string, format string, args ...any) {
+// WriteError answers with a JSON error body carrying apiCode. It is
+// exported (with StatusFor and CodeFor) so alternative serving fronts
+// — the shard router's proxy — answer errors in the exact shape this
+// server does, and one client understands every tier.
+func WriteError(w http.ResponseWriter, status int, apiCode string, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...), Code: apiCode})
 }
 
-// statusFor maps an error to the HTTP status that describes it.
-func statusFor(err error) int {
+// StatusFor maps an error to the HTTP status that describes it.
+func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadKey), errors.Is(err, registry.ErrInvalidKey),
 		errors.Is(err, engine.ErrSampleCap), errors.Is(err, engine.ErrBadRequest):
@@ -218,9 +221,9 @@ func statusFor(err error) int {
 }
 
 // codeSentinels is the single source of truth tying wire-level error
-// codes to the canonical sentinel errors: codeFor and sentinelFor are
+// codes to the canonical sentinel errors: CodeFor and sentinelFor are
 // both derived from it, so the two directions cannot drift apart.
-// Order matters twice over — codeFor takes the first sentinel the
+// Order matters twice over — CodeFor takes the first sentinel the
 // error Is, and sentinelFor takes the first row carrying the code
 // (the canonical sentinel of a code with several rows goes first).
 var codeSentinels = []struct {
@@ -237,8 +240,8 @@ var codeSentinels = []struct {
 	{CodeCanceled, context.Canceled},
 }
 
-// codeFor maps an error to its wire-level error code.
-func codeFor(err error) string {
+// CodeFor maps an error to its wire-level error code.
+func CodeFor(err error) string {
 	for _, cs := range codeSentinels {
 		if errors.Is(err, cs.sentinel) {
 			return cs.code
@@ -247,7 +250,7 @@ func codeFor(err error) string {
 	return CodeInternal
 }
 
-// sentinelFor inverts codeFor: the canonical sentinel a wire-level
+// sentinelFor inverts CodeFor: the canonical sentinel a wire-level
 // error code names, or nil for unknown/internal codes. Shared by
 // APIError (pre-stream HTTP errors) and StreamError (mid-stream
 // error frames).
@@ -260,47 +263,60 @@ func sentinelFor(code string) error {
 	return nil
 }
 
-func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
-	var req SampleRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+// DecodeSampleRequest decodes and validates a POST /v1/sample body —
+// the one validation srjserver's handler and the router proxy both
+// apply, kept as a single function so the tiers cannot drift apart.
+// maxT <= 0 skips the sample cap (the router defers capping to its
+// backends); maxTJSON caps the buffering JSON transport. On failure
+// the error response (status, code, message) is already written and
+// ok is false.
+func DecodeSampleRequest(w http.ResponseWriter, r *http.Request, maxT, maxTJSON int) (req SampleRequest, binaryOut, ok bool) {
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
-		return
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+		return req, false, false
 	}
 	if req.Dataset == "" {
-		writeError(w, http.StatusBadRequest, CodeBadKey, "dataset is required")
-		return
+		WriteError(w, http.StatusBadRequest, CodeBadKey, "dataset is required")
+		return req, false, false
 	}
 	// Non-positive t is the client's mistake whatever the transport:
 	// both formats answer 400 here, before any engine is resolved.
 	if req.T <= 0 {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "t must be positive, got %d", req.T)
-		return
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "t must be positive, got %d", req.T)
+		return req, false, false
 	}
-	if req.T > s.cfg.MaxT {
-		writeError(w, http.StatusBadRequest, CodeSampleCap, "t=%d exceeds the server cap %d", req.T, s.cfg.MaxT)
-		return
+	if maxT > 0 && req.T > maxT {
+		WriteError(w, http.StatusBadRequest, CodeSampleCap, "t=%d exceeds the server cap %d", req.T, maxT)
+		return req, false, false
 	}
 	// An explicit body format wins; the Accept header is only a
 	// fallback for clients that leave the field empty.
 	if req.Format != "" && req.Format != "json" && req.Format != "binary" {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "unknown format %q (json or binary)", req.Format)
-		return
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "unknown format %q (json or binary)", req.Format)
+		return req, false, false
 	}
-	binaryOut := req.Format == "binary" ||
+	binaryOut = req.Format == "binary" ||
 		(req.Format == "" && r.Header.Get("Accept") == ContentTypeBinary)
-	if !binaryOut && req.T > s.cfg.MaxTJSON {
-		writeError(w, http.StatusBadRequest, CodeSampleCap,
+	if !binaryOut && req.T > maxTJSON {
+		WriteError(w, http.StatusBadRequest, CodeSampleCap,
 			"t=%d exceeds the JSON transport cap %d; use format \"binary\" for bulk transfers",
-			req.T, s.cfg.MaxTJSON)
+			req.T, maxTJSON)
+		return req, false, false
+	}
+	return req, binaryOut, true
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	req, binaryOut, ok := DecodeSampleRequest(w, r, s.cfg.MaxT, s.cfg.MaxTJSON)
+	if !ok {
 		return
 	}
-
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	eng, err := s.cfg.Registry.Get(ctx, req.Key())
 	if err != nil {
-		writeError(w, statusFor(err), codeFor(err), "building engine %s: %v", req.Key(), err)
+		WriteError(w, StatusFor(err), CodeFor(err), "building engine %s: %v", req.Key(), err)
 		return
 	}
 	dreq := engine.Request{T: req.T, Seed: req.DrawSeed}
@@ -323,7 +339,7 @@ func (s *Server) respondJSON(ctx context.Context, w http.ResponseWriter, eng *en
 		return nil
 	})
 	if err != nil {
-		writeError(w, statusFor(err), codeFor(err), "sampling: %v", err)
+		WriteError(w, StatusFor(err), CodeFor(err), "sampling: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -343,7 +359,7 @@ func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *e
 	w.Header().Set("Content-Type", ContentTypeBinary)
 	rc := http.NewResponseController(w)
 	rc.SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
-	if err := writeWireHeader(w); err != nil {
+	if err := WriteStreamHeader(w); err != nil {
 		return
 	}
 	flusher, _ := w.(http.Flusher)
@@ -351,7 +367,7 @@ func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *e
 	err := eng.DrawFunc(ctx, req, func(batch []geom.Pair) error {
 		rc.SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
 		var werr error
-		scratch, werr = writeWireFrame(w, batch, scratch)
+		scratch, werr = WriteStreamFrame(w, batch, scratch)
 		if werr != nil {
 			return werr
 		}
@@ -361,10 +377,10 @@ func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *e
 		return nil
 	})
 	if err != nil {
-		writeWireError(w, codeFor(err), err.Error())
+		WriteStreamError(w, CodeFor(err), err.Error())
 		return
 	}
-	writeWireEnd(w)
+	WriteStreamEnd(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -392,18 +408,29 @@ type EvictResponse struct {
 // {"dataset":..., "l":..., "algorithm":..., "seed":...}; the default
 // algorithm rule of SampleRequest applies.
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
-	var req SampleRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
-		return
-	}
-	if req.Dataset == "" {
-		writeError(w, http.StatusBadRequest, CodeBadKey, "dataset is required")
+	req, ok := DecodeEvictRequest(w, r)
+	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(EvictResponse{Evicted: s.cfg.Registry.Evict(req.Key())})
+}
+
+// DecodeEvictRequest decodes and validates a DELETE /v1/engines body
+// — shared with the router proxy, like DecodeSampleRequest, so the
+// tiers answer identically. On failure the error response is already
+// written and ok is false.
+func DecodeEvictRequest(w http.ResponseWriter, r *http.Request) (req SampleRequest, ok bool) {
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+		return req, false
+	}
+	if req.Dataset == "" {
+		WriteError(w, http.StatusBadRequest, CodeBadKey, "dataset is required")
+		return req, false
+	}
+	return req, true
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -578,13 +578,13 @@ func TestServerErrorCodes(t *testing.T) {
 func TestClientRejectsOverDelivery(t *testing.T) {
 	rogue := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ContentTypeBinary)
-		writeWireHeader(w)
+		WriteStreamHeader(w)
 		batch := make([]geom.Pair, 1000)
 		var scratch []byte
 		for i := 0; i < 50; i++ { // 50k pairs, whatever was asked
-			scratch, _ = writeWireFrame(w, batch, scratch)
+			scratch, _ = WriteStreamFrame(w, batch, scratch)
 		}
-		writeWireEnd(w)
+		WriteStreamEnd(w)
 	}))
 	defer rogue.Close()
 	cl := NewClient(rogue.URL, rogue.Client())
@@ -704,7 +704,7 @@ func TestWireRoundTrip(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := writeWireHeader(&buf); err != nil {
+	if err := WriteStreamHeader(&buf); err != nil {
 		t.Fatal(err)
 	}
 	var scratch []byte
@@ -714,11 +714,11 @@ func TestWireRoundTrip(t *testing.T) {
 		if end > len(pairs) {
 			end = len(pairs)
 		}
-		if scratch, err = writeWireFrame(&buf, pairs[off:end], scratch); err != nil {
+		if scratch, err = WriteStreamFrame(&buf, pairs[off:end], scratch); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := writeWireEnd(&buf); err != nil {
+	if err := WriteStreamEnd(&buf); err != nil {
 		t.Fatal(err)
 	}
 
@@ -741,16 +741,16 @@ func TestWireRoundTrip(t *testing.T) {
 
 	// A batch larger than the reader's per-frame bound is split by
 	// the writer into acceptable frames, never rejected.
-	big := make([]geom.Pair, maxFramePairs+5)
+	big := make([]geom.Pair, MaxFramePairs+5)
 	for i := range big {
 		big[i] = geom.Pair{R: geom.Point{ID: int32(i)}, S: geom.Point{ID: int32(i + 1)}}
 	}
 	var bbuf bytes.Buffer
-	writeWireHeader(&bbuf)
-	if _, err := writeWireFrame(&bbuf, big, nil); err != nil {
+	WriteStreamHeader(&bbuf)
+	if _, err := WriteStreamFrame(&bbuf, big, nil); err != nil {
 		t.Fatal(err)
 	}
-	writeWireEnd(&bbuf)
+	WriteStreamEnd(&bbuf)
 	n, err = readWireStream(bytes.NewReader(bbuf.Bytes()), nil)
 	if err != nil || n != len(big) {
 		t.Fatalf("oversized batch: %d pairs, %v", n, err)
@@ -761,11 +761,11 @@ func TestWireRoundTrip(t *testing.T) {
 	// sentinel — mid-stream errors keep errors.Is parity with local
 	// engines.
 	var ebuf bytes.Buffer
-	writeWireHeader(&ebuf)
-	if _, err := writeWireFrame(&ebuf, pairs[:3], nil); err != nil {
+	WriteStreamHeader(&ebuf)
+	if _, err := WriteStreamFrame(&ebuf, pairs[:3], nil); err != nil {
 		t.Fatal(err)
 	}
-	writeWireError(&ebuf, CodeLowAcceptance, "sampler gave up")
+	WriteStreamError(&ebuf, CodeLowAcceptance, "sampler gave up")
 	n, err = readWireStream(bytes.NewReader(ebuf.Bytes()), nil)
 	if n != 3 || err == nil || !strings.Contains(err.Error(), "sampler gave up") {
 		t.Fatalf("error frame: n=%d err=%v", n, err)

@@ -42,9 +42,12 @@ const (
 	pairBytes = 40
 	// frameError marks an error frame's count field.
 	frameError = uint32(0xFFFFFFFF)
-	// maxFramePairs bounds the pairs a reader accepts in one frame,
-	// so a malicious stream cannot force an unbounded allocation.
-	maxFramePairs = 1 << 16
+	// MaxFramePairs bounds the pairs a reader accepts in one frame,
+	// so a malicious stream cannot force an unbounded allocation. It
+	// doubles as the preallocation cap for accumulating clients: a
+	// larger t is client input the server has not validated yet, and
+	// trusting it would reintroduce allocate-before-validate.
+	MaxFramePairs = 1 << 16
 	// maxErrorLen bounds an error frame's message.
 	maxErrorLen = 1 << 16
 
@@ -52,8 +55,11 @@ const (
 	ContentTypeBinary = "application/x-srj-pairs"
 )
 
-// writeWireHeader opens a binary pair stream.
-func writeWireHeader(w io.Writer) error {
+// WriteStreamHeader opens a binary pair stream. The Write* stream
+// functions are exported for alternative serving fronts — the shard
+// router's proxy re-encodes routed draws with them — so every tier
+// emits one wire format.
+func WriteStreamHeader(w io.Writer) error {
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], wireMagic)
 	hdr[4] = wireVersion
@@ -61,18 +67,18 @@ func writeWireHeader(w io.Writer) error {
 	return err
 }
 
-// writeWireFrame encodes a non-empty batch of pairs, splitting
-// batches beyond maxFramePairs across several frames so the writer
+// WriteStreamFrame encodes a non-empty batch of pairs, splitting
+// batches beyond MaxFramePairs across several frames so the writer
 // can never emit a frame the reader is obliged to reject. scratch is
 // reused across calls when large enough; the (possibly grown) buffer
 // is returned.
-func writeWireFrame(w io.Writer, pairs []geom.Pair, scratch []byte) ([]byte, error) {
-	for len(pairs) > maxFramePairs {
+func WriteStreamFrame(w io.Writer, pairs []geom.Pair, scratch []byte) ([]byte, error) {
+	for len(pairs) > MaxFramePairs {
 		var err error
-		if scratch, err = writeWireFrame(w, pairs[:maxFramePairs], scratch); err != nil {
+		if scratch, err = WriteStreamFrame(w, pairs[:MaxFramePairs], scratch); err != nil {
 			return scratch, err
 		}
-		pairs = pairs[maxFramePairs:]
+		pairs = pairs[MaxFramePairs:]
 	}
 	if len(pairs) == 0 {
 		return scratch, nil
@@ -100,16 +106,16 @@ func putPoint(b []byte, p geom.Point) int {
 	return 20
 }
 
-// writeWireEnd closes a binary pair stream cleanly.
-func writeWireEnd(w io.Writer) error {
+// WriteStreamEnd closes a binary pair stream cleanly.
+func WriteStreamEnd(w io.Writer) error {
 	var b [4]byte
 	_, err := w.Write(b[:])
 	return err
 }
 
-// writeWireError aborts a binary pair stream with a machine-readable
+// WriteStreamError aborts a binary pair stream with a machine-readable
 // code plus a message; the client surfaces both as a *StreamError.
-func writeWireError(w io.Writer, code, msg string) error {
+func WriteStreamError(w io.Writer, code, msg string) error {
 	if len(code) > maxErrorLen {
 		code = code[:maxErrorLen]
 	}
@@ -206,7 +212,7 @@ func readWireStream(r io.Reader, fn func(batch []geom.Pair) error) (int, error) 
 				return total, err
 			}
 			return total, serr
-		case n > maxFramePairs:
+		case n > MaxFramePairs:
 			return total, fmt.Errorf("server: oversized frame (%d pairs)", n)
 		}
 		need := int(n) * pairBytes

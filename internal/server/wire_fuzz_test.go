@@ -1,0 +1,192 @@
+package server
+
+// Fuzzing the framed binary wire decoder. readWireStream consumes
+// bytes straight off the network from whatever claims to be an
+// srjserver — a shard router makes that "whatever" a fleet — so it
+// must hold two properties against arbitrary input: never panic, and
+// never report success for a stream that did not end with an explicit
+// clean-end frame (a truncated stream is an error, not a short read).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// fuzzPairs builds a deterministic batch of n valid pairs.
+func fuzzPairs(n int) []geom.Pair {
+	out := make([]geom.Pair, n)
+	for i := range out {
+		out[i] = geom.Pair{
+			R: geom.Point{ID: int32(i), X: float64(i), Y: float64(2 * i)},
+			S: geom.Point{ID: int32(i + 1), X: float64(i) + 0.5, Y: float64(2*i) - 0.5},
+		}
+	}
+	return out
+}
+
+// encodeStream writes a complete, valid v2 stream: header, the given
+// frames, and a clean end.
+func encodeStream(t testing.TB, frames ...[]geom.Pair) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteStreamHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var scratch []byte
+	var err error
+	for _, f := range frames {
+		if scratch, err = WriteStreamFrame(&buf, f, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteStreamEnd(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrames drives readWireStream with arbitrary bytes. The
+// corpus seeds every frame kind the format defines — data frames, the
+// clean end, an error frame, truncations, and corrupt headers — so
+// the fuzzer starts from structurally interesting inputs.
+func FuzzDecodeFrames(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a stream at all"))
+	f.Add(encodeStream(f))                                // header + end only
+	f.Add(encodeStream(f, fuzzPairs(1)))                  // one tiny frame
+	f.Add(encodeStream(f, fuzzPairs(100), fuzzPairs(37))) // two frames
+	valid := encodeStream(f, fuzzPairs(5))
+	f.Add(valid[:len(valid)-4])  // missing the end frame
+	f.Add(valid[:len(valid)-30]) // truncated mid-frame
+	f.Add(valid[:3])             // truncated header
+	{
+		var buf bytes.Buffer
+		WriteStreamHeader(&buf)
+		WriteStreamFrame(&buf, fuzzPairs(3), nil)
+		WriteStreamError(&buf, CodeLowAcceptance, "sampler gave up")
+		f.Add(buf.Bytes()) // error frame after data
+	}
+	{
+		bad := append([]byte{}, valid...)
+		bad[4] = 99 // future version
+		f.Add(bad)
+		huge := append([]byte{}, valid[:5]...)
+		huge = append(huge, 0xFE, 0xFF, 0xFF, 0xFF) // oversized frame count
+		f.Add(huge)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := bytes.NewReader(data)
+		delivered := 0
+		n, err := readWireStream(rd, func(batch []geom.Pair) error {
+			if len(batch) == 0 || len(batch) > MaxFramePairs {
+				t.Fatalf("callback got a %d-pair batch", len(batch))
+			}
+			delivered += len(batch)
+			return nil
+		})
+		if n != delivered {
+			t.Fatalf("reported %d pairs, delivered %d", n, delivered)
+		}
+		if err != nil {
+			return
+		}
+		// A clean decode promises a complete stream ending in an
+		// explicit end frame. When the decoder consumed the whole
+		// input (no trailing bytes it rightly ignored), chopping any
+		// suffix off must therefore break it. This is the no-short-
+		// reads property: truncation can never masquerade as success.
+		if len(data) < 9 { // header + end frame is the minimum
+			t.Fatalf("decode succeeded on %d bytes", len(data))
+		}
+		if rd.Len() > 0 {
+			return // input = stream + trailing bytes; prefixes may still hold a full stream
+		}
+		for _, cut := range []int{1, 2, 5} {
+			if cut >= len(data) {
+				continue
+			}
+			if _, terr := readWireStream(bytes.NewReader(data[:len(data)-cut]), nil); terr == nil {
+				t.Fatalf("decode succeeded on input truncated by %d bytes", cut)
+			}
+		}
+	})
+}
+
+// TestWireTruncationEveryPrefix is the deterministic core of the
+// truncation property: every strict prefix of a valid stream must
+// yield an error — never a silent short read — because only the
+// explicit end frame distinguishes "done" from "the connection died".
+func TestWireTruncationEveryPrefix(t *testing.T) {
+	full := encodeStream(t, fuzzPairs(7), fuzzPairs(3))
+	want := 10
+	n, err := readWireStream(bytes.NewReader(full), nil)
+	if err != nil || n != want {
+		t.Fatalf("intact stream: n=%d err=%v", n, err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		n, err := readWireStream(bytes.NewReader(full[:cut]), nil)
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly (%d pairs)", cut, len(full), n)
+		}
+		if n > want {
+			t.Fatalf("prefix of %d bytes over-delivered %d pairs", cut, n)
+		}
+	}
+	// Trailing garbage after the end frame is ignored by design (the
+	// reader stops at the end frame); assert that explicitly so the
+	// truncation loop above cannot silently rely on the opposite.
+	n, err = readWireStream(bytes.NewReader(append(append([]byte{}, full...), "junk"...)), nil)
+	if err != nil || n != want {
+		t.Fatalf("trailing bytes broke a complete stream: n=%d err=%v", n, err)
+	}
+}
+
+// TestWireCorruptFrames: targeted corruptions all error with a
+// diagnosable message rather than panicking or misdecoding.
+func TestWireCorruptFrames(t *testing.T) {
+	valid := encodeStream(t, fuzzPairs(4))
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"future version", func(b []byte) []byte { b[4] = 99; return b }},
+		{"oversized count", func(b []byte) []byte {
+			b[5], b[6], b[7], b[8] = 0xFF, 0xFF, 0xFF, 0x7F
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.corrupt(append([]byte{}, valid...))
+			if _, err := readWireStream(bytes.NewReader(b), nil); err == nil {
+				t.Fatal("corrupt stream decoded cleanly")
+			}
+		})
+	}
+	t.Run("oversized error frame", func(t *testing.T) {
+		var buf bytes.Buffer
+		WriteStreamHeader(&buf)
+		buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // error frame marker
+		buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // absurd code length
+		if _, err := readWireStream(bytes.NewReader(buf.Bytes()), nil); err == nil ||
+			!bytes.Contains([]byte(err.Error()), []byte("oversized")) {
+			t.Fatalf("err = %v, want oversized error frame", err)
+		}
+	})
+	t.Run("error frame code round-trips", func(t *testing.T) {
+		var buf bytes.Buffer
+		WriteStreamHeader(&buf)
+		WriteStreamError(&buf, CodeSampleCap, fmt.Sprintf("t=%d too big", 1<<20))
+		_, err := readWireStream(bytes.NewReader(buf.Bytes()), nil)
+		var serr *StreamError
+		if !errors.As(err, &serr) || serr.Code != CodeSampleCap {
+			t.Fatalf("err = %v, want StreamError with code %q", err, CodeSampleCap)
+		}
+	})
+}

@@ -1,0 +1,374 @@
+package srj_test
+
+// Router-specific conformance: the shared suite proves the Router is
+// a Source; these tests prove it is a *sharding* Source — results
+// independent of ring size, assignments stable under fleet resizes,
+// and failover that distinguishes a dead shard from an answer.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	srj "repro"
+	"repro/internal/server"
+	"repro/srjtest"
+)
+
+// TestRouterRingSizeIndependence: equal-seed draws are byte-identical
+// whatever the ring size — 1, 2, or 5 backends. Sharding is a memory
+// and throughput decision; it must never be a semantics decision.
+func TestRouterRingSizeIndependence(t *testing.T) {
+	R, S, l := srjtest.Data()
+	cfg := srjtest.Config{R: R, S: S, L: l, MaxT: 100_000, BuildSeed: 9}
+	ctx := context.Background()
+	var want []srj.Pair
+	for _, n := range []int{1, 2, 5} {
+		src := newRouterSourceN(t, cfg, n)
+		res, err := src.Draw(ctx, srj.Request{T: 2000, Seed: 77})
+		if err != nil {
+			t.Fatalf("%d backends: %v", n, err)
+		}
+		if want == nil {
+			want = res.Pairs
+			continue
+		}
+		for i := range want {
+			if res.Pairs[i] != want[i] {
+				t.Fatalf("%d backends: diverged from 1 backend at sample %d", n, i)
+			}
+		}
+	}
+}
+
+// TestRouterStableAssignment: growing or shrinking the fleet by one
+// backend moves only ~1/n of the keys — the consistent-hashing
+// property that makes a resize invalidate ~1/n of the fleet's cached
+// engines instead of all of them.
+func TestRouterStableAssignment(t *testing.T) {
+	addrs := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("http://shard-%d:8080", i)
+		}
+		return out
+	}
+	newRouter := func(n int) *srj.Router {
+		// Probing disabled: these routers route keys, not requests,
+		// and their backends are fictional.
+		rt, err := srj.NewRouter(addrs(n), srj.RouterOptions{ProbeInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	keys := make([]srj.EngineKey, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		keys = append(keys,
+			srj.EngineKey{Dataset: fmt.Sprintf("ds-%d", i), L: 100, Algorithm: "bbst", Seed: uint64(i)},
+			srj.EngineKey{Dataset: "shared", L: float64(i) + 0.5, Algorithm: "kds", Seed: uint64(i)},
+		)
+	}
+
+	const n = 5
+	base := newRouter(n)
+	grown := newRouter(n + 1)
+	shrunk := newRouter(n - 1)
+
+	addedAddr := fmt.Sprintf("http://shard-%d:8080", n)
+	removedAddr := fmt.Sprintf("http://shard-%d:8080", n-1)
+	counts := map[string]int{}
+	movedGrow, movedShrink := 0, 0
+	for _, k := range keys {
+		home := base.Locate(k)
+		counts[home]++
+		if g := grown.Locate(k); g != home {
+			movedGrow++
+			// A key that moves on growth must move TO the new backend:
+			// arcs are only taken, never reshuffled.
+			if g != addedAddr {
+				t.Fatalf("key %v moved to old backend %s on growth", k, g)
+			}
+		}
+		if home == removedAddr {
+			// Keys on the removed backend must all move (anywhere
+			// surviving); every other key must stay put.
+			movedShrink++
+		} else if s := shrunk.Locate(k); s != home {
+			t.Fatalf("key %v moved from %s to %s although its backend survived the shrink", k, home, s)
+		}
+	}
+
+	// Balance: every backend owns a meaningful share (the vnode count
+	// is chosen so no arc collapses).
+	for _, a := range addrs(n) {
+		if c := counts[a]; c < len(keys)/(4*n) {
+			t.Fatalf("backend %s owns only %d/%d keys", a, c, len(keys))
+		}
+	}
+	// Movement: ~1/(n+1) of keys move on growth, ~1/n on shrink.
+	// Generous 2x bounds keep the test sturdy across hash tweaks while
+	// still catching a modulo-style reshuffle (which moves ~all keys).
+	if f := float64(movedGrow) / float64(len(keys)); f == 0 || f > 2.0/float64(n+1) {
+		t.Fatalf("growth moved %.1f%% of keys, want ~%.1f%%", f*100, 100.0/float64(n+1))
+	}
+	if f := float64(movedShrink) / float64(len(keys)); f == 0 || f > 2.0/float64(n) {
+		t.Fatalf("shrink moved %.1f%% of keys, want ~%.1f%%", f*100, 100.0/float64(n))
+	}
+}
+
+// flakyBackend wraps a backend handler with a fault injector: while
+// kills is positive, each /v1/sample request is answered with a valid
+// but truncated binary stream — the real response's first bytes, cut
+// mid-stream — and then the TCP connection is dropped. That is the
+// transport failure mode failover exists for: the stream died without
+// a semantic answer.
+func flakyBackend(t *testing.T, inner http.Handler, kills *atomic.Int32) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sample" || kills.Add(-1) < 0 {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		// Replay the request against the real handler to get the true
+		// stream (seeded draws are deterministic, so this is exactly
+		// what the healthy backend would have sent), then deliver only
+		// a prefix and kill the connection.
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rec := httptest.NewRecorder()
+		replay := r.Clone(r.Context())
+		replay.Body = io.NopCloser(bytes.NewReader(body))
+		inner.ServeHTTP(rec, replay)
+		full := rec.Body.Bytes()
+		// Cut just short of the end: the client has then decoded (and
+		// delivered) every complete frame but one, so the failover
+		// resumes a draw that is mostly delivered — the hardest case,
+		// exercising the skip-the-delivered-prefix path.
+		cut := len(full) - 30
+		if cut <= 0 {
+			t.Errorf("nothing to truncate: %d-byte response", len(full))
+			return
+		}
+		conn, bufrw, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		fmt.Fprintf(bufrw, "HTTP/1.1 200 OK\r\nContent-Type: %s\r\nConnection: close\r\n\r\n",
+			rec.Header().Get("Content-Type"))
+		bufrw.Write(full[:cut])
+		bufrw.Flush()
+	})
+}
+
+// routerFixture builds a fleet whose first ring choice for the given
+// key can be made to fail: it finds the key's home backend and wraps
+// it with the fault injector.
+func routerFixture(t *testing.T, cfg srjtest.Config, n int, key srj.EngineKey) (*srj.Router, *atomic.Int32, []*atomic.Int64) {
+	t.Helper()
+	var kills atomic.Int32
+	sampleHits := make([]*atomic.Int64, n)
+	addrs := make([]string, n)
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := srj.NewServer(&srj.ServerOptions{
+			Datasets: func(name string) ([]srj.Point, []srj.Point, error) {
+				return cfg.R, cfg.S, nil
+			},
+			MaxT: cfg.MaxT,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := &atomic.Int64{}
+		sampleHits[i] = hits
+		counted := func(inner http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/v1/sample" {
+					hits.Add(1)
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		ts := httptest.NewUnstartedServer(nil)
+		servers[i] = ts
+		ts.Config.Handler = counted(srv)
+		ts.Start()
+		t.Cleanup(ts.Close)
+		addrs[i] = ts.URL
+	}
+	rt, err := srj.NewRouter(addrs, srj.RouterOptions{HTTPClient: confTransport(t), ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm the fault injector on the key's home shard, so the first
+	// attempt of a routed draw is the one that dies.
+	home := rt.Locate(key)
+	for i, a := range addrs {
+		if a == home {
+			servers[i].Config.Handler = flakyBackend(t, servers[i].Config.Handler, &kills)
+		}
+	}
+	return rt, &kills, sampleHits
+}
+
+// TestRouterFailoverMidStream: a connection that dies mid-stream on
+// the key's home shard fails over to the next ring node — invisibly:
+// the draw completes, delivers exactly t samples, and a seeded draw
+// stays byte-identical to one served without any failure.
+func TestRouterFailoverMidStream(t *testing.T) {
+	R, S, l := srjtest.Data()
+	cfg := srjtest.Config{R: R, S: S, L: l, MaxT: 100_000, BuildSeed: 11}
+	key := srj.EngineKey{Dataset: "conf", L: cfg.L, Seed: cfg.BuildSeed}
+	rt, kills, _ := routerFixture(t, cfg, 3, key)
+	defer rt.Close()
+	src := rt.Bind(key)
+	ctx := context.Background()
+
+	// The truth: a draw with no faults armed.
+	want, err := src.Draw(ctx, srj.Request{T: 5000, Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same draw with the home shard dying mid-stream on the next
+	// request.
+	kills.Store(1)
+	var got []srj.Pair
+	err = src.DrawFunc(ctx, srj.Request{T: 5000, Seed: 123}, func(batch []srj.Pair) error {
+		got = append(got, batch...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("draw with failover: %v", err)
+	}
+	if kills.Load() >= 1 {
+		t.Fatal("fault injector never fired")
+	}
+	if len(got) != len(want.Pairs) {
+		t.Fatalf("failover delivered %d samples, want %d", len(got), len(want.Pairs))
+	}
+	for i := range got {
+		if got[i] != want.Pairs[i] {
+			t.Fatalf("failover diverged at sample %d: %v vs %v", i, got[i], want.Pairs[i])
+		}
+	}
+
+	// The router remembers: the home shard is marked unhealthy and the
+	// failover is counted.
+	st := rt.Stats()
+	var failovers uint64
+	unhealthy := 0
+	for _, b := range st.Backends {
+		failovers += b.Failovers
+		if !b.Healthy {
+			unhealthy++
+		}
+	}
+	if failovers == 0 || unhealthy == 0 {
+		t.Fatalf("failover not recorded: %+v", st.Backends)
+	}
+}
+
+// TestRouterFailoverConnectionRefused: a backend that is simply gone
+// (connection refused) is skipped the same way.
+func TestRouterFailoverConnectionRefused(t *testing.T) {
+	R, S, l := srjtest.Data()
+	cfg := srjtest.Config{R: R, S: S, L: l, MaxT: 100_000, BuildSeed: 12}
+	live := startBackends(t, cfg, 2)
+	// A dead address: bind a listener, note the port, close it.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	rt, err := srj.NewRouter(append([]string{deadURL}, live...), srj.RouterOptions{
+		HTTPClient:    confTransport(t),
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	key := srj.EngineKey{Dataset: "conf", L: cfg.L, Seed: cfg.BuildSeed}
+	res, err := rt.Bind(key).Draw(context.Background(), srj.Request{T: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1000 {
+		t.Fatalf("got %d pairs", len(res.Pairs))
+	}
+}
+
+// TestRouterSemanticErrorsDoNotFailover: answers are not failures. A
+// backend that *refuses* a request — over-cap t, malformed key —
+// answered it; retrying the refusal on every shard would turn one
+// client error into n. The sentinel must surface unchanged, from the
+// first backend asked, with no other backend contacted.
+func TestRouterSemanticErrorsDoNotFailover(t *testing.T) {
+	R, S, l := srjtest.Data()
+	cfg := srjtest.Config{R: R, S: S, L: l, MaxT: 1000, BuildSeed: 13}
+	key := srj.EngineKey{Dataset: "conf", L: cfg.L, Seed: cfg.BuildSeed}
+	rt, _, sampleHits := routerFixture(t, cfg, 3, key)
+	defer rt.Close()
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		key  srj.EngineKey
+		req  srj.Request
+		want error
+	}{
+		{"over-cap", key, srj.Request{T: cfg.MaxT + 1}, srj.ErrSampleCap},
+		{"bad algorithm", srj.EngineKey{Dataset: "conf", L: cfg.L, Algorithm: "no-such"}, srj.Request{T: 10}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := int64(0)
+			for _, h := range sampleHits {
+				before += h.Load()
+			}
+			_, err := rt.Bind(tc.key).Draw(ctx, tc.req)
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			var apiErr *server.APIError
+			if tc.want == nil && !errors.As(err, &apiErr) {
+				t.Fatalf("err = %v, want an APIError", err)
+			}
+			after := int64(0)
+			for _, h := range sampleHits {
+				after += h.Load()
+			}
+			if after-before != 1 {
+				t.Fatalf("semantic error contacted %d backends, want exactly 1", after-before)
+			}
+			// And the fleet is still considered healthy: an answer is
+			// not an outage.
+			for _, b := range rt.Stats().Backends {
+				if !b.Healthy {
+					t.Fatalf("semantic error marked %s unhealthy", b.Addr)
+				}
+			}
+		})
+	}
+
+	// The refusals were answers, so they count as backend failures
+	// (alertable) — one per case, with zero failovers.
+	var failures, failovers uint64
+	for _, b := range rt.Stats().Backends {
+		failures += b.Failures
+		failovers += b.Failovers
+	}
+	if failures != uint64(len(cases)) || failovers != 0 {
+		t.Fatalf("failures = %d (want %d), failovers = %d (want 0)", failures, len(cases), failovers)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/registry"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
@@ -269,6 +270,34 @@ func knownAlgorithm(name string) bool {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
+
+// Router shards engine keys across a fleet of srjserver backends by
+// consistent hashing: each (dataset, l, algorithm, seed) key has one
+// home backend (so the fleet's aggregate memory budget scales
+// horizontally), transport failures fail over along the ring, and
+// Bind turns the router into a Source exactly like Client.Bind —
+// callers cannot tell a sharded fleet from a single engine. Construct
+// with NewRouter; Close stops the background health prober. See
+// RouterOptions for knobs, cmd/srjrouter for the standalone proxy.
+type Router = router.Router
+
+// RouterOptions configures NewRouter: virtual nodes per backend,
+// health-probe cadence, and the shared http.Client.
+type RouterOptions = router.Options
+
+// RouterStats snapshots a Router's routing state: per-backend health
+// and counters plus per-key shard assignments.
+type RouterStats = router.Stats
+
+// BackendStats is one backend's slice of RouterStats.
+type BackendStats = router.BackendStats
+
+// NewRouter returns a Router over the given srjserver base URLs (e.g.
+// "http://shard0:8080"). The zero RouterOptions serves: 64 virtual
+// nodes per backend, a 5s health-probe interval, http.DefaultClient.
+func NewRouter(backends []string, opts RouterOptions) (*Router, error) {
+	return router.New(backends, opts)
+}
 
 // Warm builds (or touches) the engine for key so the first client
 // request pays no preprocessing.

@@ -15,13 +15,16 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
-// Source draws uniform independent join samples on request. Both
-// implementations in this package — *Engine (in-process, pooled
-// sampler clones) and *Client bound to an engine key (remote, the
-// srjserver wire protocol) — satisfy it with identical semantics:
+// Source draws uniform independent join samples on request. Every
+// implementation in this package — *Engine (in-process, pooled
+// sampler clones), *Client bound to an engine key (remote, the
+// srjserver wire protocol), and *Router bound to one (remote, the
+// key's consistent-hash shard with ring failover) — satisfies it with
+// identical semantics:
 //
 //   - Cancellation: ctx is honored between sampling batches; a
 //     canceled or expired context stops an in-flight draw promptly
@@ -67,10 +70,13 @@ var ErrBadRequest = engine.ErrBadRequest
 // to an engine key; see Client.Bind.
 var ErrUnbound = errors.New("srj: client is not bound to an engine key (use Client.Bind)")
 
-// Compile-time checks: both serving surfaces implement the contract.
+// Compile-time checks: every serving surface implements the contract
+// — the in-process engine, the remote client, and the sharding
+// router's bound form (Router.Bind).
 var (
 	_ Source = (*Engine)(nil)
 	_ Source = (*Client)(nil)
+	_ Source = (*router.Bound)(nil)
 )
 
 // Draw serves one request against the engine's once-built structures.

@@ -1,338 +1,148 @@
-package srj
+package srj_test
 
-// The Source conformance suite: one set of behavioral tests that
-// every implementation of the contract must pass. It runs against
-// the in-process Engine and against a Client bound to an engine key
-// on a live HTTP server — the point of the contract is that callers
-// cannot tell the two apart, so the tests are written once against
-// Source and parameterized by a fixture constructor.
+// The Source conformance suite, instantiated. The suite itself lives
+// in srjtest (one set of behavioral tests, written once against
+// srj.Source); this file registers the repo's implementations — the
+// in-process Engine, a Client bound to an engine key on a live HTTP
+// server, and a Router bound to the same key over a sharded fleet of
+// three servers — so every tier answers to the same contract. A new
+// tier gets the full suite by adding one constructor here.
 
 import (
 	"context"
 	"errors"
-	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
-	"time"
 
-	"repro/internal/testutil"
+	srj "repro"
+	"repro/srjtest"
 )
 
-// confL and the dataset below give a join of a few hundred pairs —
-// small enough to enumerate exactly, big enough for a meaningful
-// chi-square.
-const confL = 1000.0
-
-func confData() (R, S []Point) {
-	return MustGenerate("uniform", 60, 101), MustGenerate("uniform", 60, 102)
-}
-
 // newEngineSource builds the in-process implementation.
-func newEngineSource(t *testing.T, R, S []Point, l float64, maxT int, buildSeed uint64) Source {
+func newEngineSource(t *testing.T, cfg srjtest.Config) srj.Source {
 	t.Helper()
-	eng, err := NewEngine(R, S, l, &Options{Seed: buildSeed})
+	eng, err := srj.NewEngine(cfg.R, cfg.S, cfg.L, &srj.Options{Seed: cfg.BuildSeed})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.SetMaxT(maxT)
+	eng.SetMaxT(cfg.MaxT)
 	return eng
 }
 
-// newClientSource builds the remote implementation: a full server
-// (registry + HTTP API) on an httptest listener with a Client bound
-// to one engine key in front. The engine the server builds for the
-// key is configured exactly like newEngineSource's, so the two
-// fixtures serve the same structures.
-func newClientSource(t *testing.T, R, S []Point, l float64, maxT int, buildSeed uint64) Source {
+// startBackends brings up n independent srjservers (registry + HTTP
+// API, each on its own httptest listener) that all resolve every
+// dataset name to cfg's point sets — the sharded-fleet invariant that
+// equal keys mean equal data on every shard. It returns their base
+// URLs.
+func startBackends(t *testing.T, cfg srjtest.Config, n int) []string {
 	t.Helper()
-	srv, err := NewServer(&ServerOptions{
-		Datasets: func(name string) ([]Point, []Point, error) {
-			return R, S, nil
-		},
-		MaxT: maxT,
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := srj.NewServer(&srj.ServerOptions{
+			Datasets: func(name string) ([]srj.Point, []srj.Point, error) {
+				return cfg.R, cfg.S, nil
+			},
+			MaxT: cfg.MaxT,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		addrs[i] = ts.URL
+	}
+	return addrs
+}
+
+// confTransport returns an http.Client whose idle connections are
+// closed on test cleanup, so the goroutine-leak checks stay quiet.
+func confTransport(t *testing.T) *http.Client {
+	t.Helper()
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	t.Cleanup(tr.CloseIdleConnections)
+	return &http.Client{Transport: tr}
+}
+
+// newClientSource builds the remote implementation: one server with a
+// Client bound to one engine key in front. The engine the server
+// builds for the key is configured exactly like newEngineSource's, so
+// the two fixtures serve the same structures.
+func newClientSource(t *testing.T, cfg srjtest.Config) srj.Source {
+	t.Helper()
+	addrs := startBackends(t, cfg, 1)
+	cl := srj.NewClientHTTP(addrs[0], confTransport(t))
+	return cl.Bind(srj.EngineKey{Dataset: "conf", L: cfg.L, Seed: cfg.BuildSeed})
+}
+
+// newRouterSource builds the sharded implementation: three servers
+// behind a consistent-hash Router, bound to the same engine key the
+// Client fixture uses. Whichever shard the ring picks, the key's
+// engine is built from the same data with the same seed — so the
+// Router must be indistinguishable from the other two fixtures.
+func newRouterSource(t *testing.T, cfg srjtest.Config) srj.Source {
+	t.Helper()
+	return newRouterSourceN(t, cfg, 3)
+}
+
+// newRouterSourceN is newRouterSource over n backends.
+func newRouterSourceN(t *testing.T, cfg srjtest.Config, n int) srj.Source {
+	t.Helper()
+	rt, err := srj.NewRouter(startBackends(t, cfg, n), srj.RouterOptions{
+		HTTPClient: confTransport(t),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv)
-	tr := http.DefaultTransport.(*http.Transport).Clone()
-	t.Cleanup(func() {
-		tr.CloseIdleConnections()
-		ts.Close()
-	})
-	cl := NewClientHTTP(ts.URL, &http.Client{Transport: tr})
-	return cl.Bind(EngineKey{Dataset: "conf", L: l, Seed: buildSeed})
+	t.Cleanup(rt.Close)
+	return rt.Bind(srj.EngineKey{Dataset: "conf", L: cfg.L, Seed: cfg.BuildSeed})
 }
 
-type sourceFixture struct {
-	name string
-	make func(t *testing.T, R, S []Point, l float64, maxT int, buildSeed uint64) Source
-}
-
-func sourceFixtures() []sourceFixture {
-	return []sourceFixture{
+// TestSourceConformance runs the shared suite over every registered
+// implementation.
+func TestSourceConformance(t *testing.T) {
+	fixtures := []struct {
+		name string
+		make srjtest.MakeSource
+	}{
 		{"Engine", newEngineSource},
 		{"Client", newClientSource},
+		{"Router", newRouterSource},
 	}
-}
-
-// TestSourceConformance is the shared suite: uniformity, equal-seed
-// determinism, context cancellation, the per-request cap, malformed
-// requests, and the Into buffer contract — on every implementation.
-func TestSourceConformance(t *testing.T) {
-	R, S := confData()
-	for _, fx := range sourceFixtures() {
+	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) {
-			t.Run("uniformity", func(t *testing.T) {
-				src := fx.make(t, R, S, confL, 500_000, 1)
-				jset := map[[2]int32]bool{}
-				Join(R, S, confL, func(r, s Point) bool {
-					jset[[2]int32{r.ID, s.ID}] = true
-					return true
-				})
-				if len(jset) < 20 || len(jset) > 2000 {
-					t.Fatalf("test setup: |J| = %d not in a good range", len(jset))
-				}
-				const draws = 120_000
-				counts := map[[2]int32]int{}
-				err := src.DrawFunc(context.Background(), Request{T: draws}, func(batch []Pair) error {
-					for _, p := range batch {
-						k := [2]int32{p.R.ID, p.S.ID}
-						if !jset[k] {
-							t.Fatalf("sampled pair %v not in J", p)
-						}
-						if !Window(p.R, confL).Contains(p.S) {
-							t.Fatalf("pair %v outside window", p)
-						}
-						counts[k]++
-					}
-					return nil
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				expected := float64(draws) / float64(len(jset))
-				chi2 := 0.0
-				for k := range jset {
-					d := float64(counts[k]) - expected
-					chi2 += d * d / expected
-				}
-				dof := float64(len(jset) - 1)
-				// The p≈0.001 bound the in-process uniformity tests use.
-				limit := dof + 4*math.Sqrt(2*dof) + 10
-				if chi2 > limit {
-					t.Fatalf("distribution skewed: chi2 = %.1f > %.1f (dof %g)", chi2, limit, dof)
-				}
-			})
-
-			t.Run("determinism by seed", func(t *testing.T) {
-				src := fx.make(t, R, S, confL, 100_000, 2)
-				ctx := context.Background()
-				a, err := src.Draw(ctx, Request{T: 2000, Seed: 42})
-				if err != nil {
-					t.Fatal(err)
-				}
-				// Interleave unseeded traffic: it must not perturb
-				// seeded draws.
-				if _, err := src.Draw(ctx, Request{T: 777}); err != nil {
-					t.Fatal(err)
-				}
-				b, err := src.Draw(ctx, Request{T: 2000, Seed: 42})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if len(a.Pairs) != 2000 || len(b.Pairs) != 2000 {
-					t.Fatalf("got %d and %d pairs", len(a.Pairs), len(b.Pairs))
-				}
-				for i := range a.Pairs {
-					if a.Pairs[i] != b.Pairs[i] {
-						t.Fatalf("equal seeds diverged at sample %d", i)
-					}
-				}
-				// A different seed must draw a different sequence.
-				c, err := src.Draw(ctx, Request{T: 2000, Seed: 43})
-				if err != nil {
-					t.Fatal(err)
-				}
-				same := 0
-				for i := range a.Pairs {
-					if a.Pairs[i] == c.Pairs[i] {
-						same++
-					}
-				}
-				if same > len(a.Pairs)/2 {
-					t.Fatalf("distinct seeds repeated %d/%d samples", same, len(a.Pairs))
-				}
-			})
-
-			t.Run("cancellation", func(t *testing.T) {
-				testutil.VerifyNoLeaks(t)
-				src := fx.make(t, R, S, confL, 500_000, 3)
-
-				// Pre-canceled context: nothing is drawn.
-				pre, cancelPre := context.WithCancel(context.Background())
-				cancelPre()
-				if _, err := src.Draw(pre, Request{T: 100}); !errors.Is(err, context.Canceled) {
-					t.Fatalf("pre-canceled Draw: err = %v, want context.Canceled", err)
-				}
-
-				// Cancel mid-stream: the draw stops promptly, well
-				// short of the requested count.
-				ctx, cancel := context.WithCancel(context.Background())
-				defer cancel()
-				const want = 400_000
-				received := 0
-				start := time.Now()
-				err := src.DrawFunc(ctx, Request{T: want}, func(batch []Pair) error {
-					received += len(batch)
-					cancel()
-					return nil
-				})
-				if !errors.Is(err, context.Canceled) {
-					t.Fatalf("mid-stream cancel: err = %v, want context.Canceled", err)
-				}
-				if received >= want {
-					t.Fatalf("cancelled draw delivered all %d samples", received)
-				}
-				if elapsed := time.Since(start); elapsed > 10*time.Second {
-					t.Fatalf("cancelled draw took %v to stop", elapsed)
-				}
-			})
-
-			t.Run("fn error precedence", func(t *testing.T) {
-				// DrawFunc returns fn's error verbatim — even in the
-				// cancel-and-return-sentinel early-stop idiom, where the
-				// caller's context is done by the time the error
-				// surfaces.
-				src := fx.make(t, R, S, confL, 500_000, 7)
-				boom := errors.New("found enough")
-				ctx, cancel := context.WithCancel(context.Background())
-				defer cancel()
-				err := src.DrawFunc(ctx, Request{T: 300_000}, func([]Pair) error {
-					cancel()
-					return boom
-				})
-				if !errors.Is(err, boom) {
-					t.Fatalf("err = %v, want the fn error verbatim", err)
-				}
-			})
-
-			t.Run("drawfunc ignores into", func(t *testing.T) {
-				// A Request built for Draw streams unchanged: Into
-				// never receives samples, its length is not validated
-				// against T, and it still defaults T when T is zero.
-				src := fx.make(t, R, S, confL, 10_000, 8)
-				short := make([]Pair, 5)
-				got := 0
-				err := src.DrawFunc(context.Background(), Request{T: 100, Into: short}, func(batch []Pair) error {
-					got += len(batch)
-					return nil
-				})
-				if err != nil || got != 100 {
-					t.Fatalf("short Into: streamed %d samples, err %v", got, err)
-				}
-				intoOnly := make([]Pair, 64)
-				got = 0
-				err = src.DrawFunc(context.Background(), Request{Into: intoOnly}, func(batch []Pair) error {
-					got += len(batch)
-					for _, p := range intoOnly {
-						if p != (Pair{}) {
-							t.Fatal("DrawFunc wrote into the Into buffer")
-						}
-					}
-					return nil
-				})
-				if err != nil || got != len(intoOnly) {
-					t.Fatalf("Into-only: streamed %d samples, err %v", got, err)
-				}
-			})
-
-			t.Run("per-request cap", func(t *testing.T) {
-				src := fx.make(t, R, S, confL, 1000, 4)
-				ctx := context.Background()
-				if _, err := src.Draw(ctx, Request{T: 1001}); !errors.Is(err, ErrSampleCap) {
-					t.Fatalf("over-cap Draw: err = %v, want ErrSampleCap", err)
-				}
-				if err := src.DrawFunc(ctx, Request{T: 1001}, func([]Pair) error {
-					t.Error("fn called for an over-cap draw")
-					return nil
-				}); !errors.Is(err, ErrSampleCap) {
-					t.Fatalf("over-cap DrawFunc: err = %v, want ErrSampleCap", err)
-				}
-				res, err := src.Draw(ctx, Request{T: 1000})
-				if err != nil || len(res.Pairs) != 1000 {
-					t.Fatalf("at-cap Draw: %d pairs, %v", len(res.Pairs), err)
-				}
-			})
-
-			t.Run("bad request", func(t *testing.T) {
-				src := fx.make(t, R, S, confL, 1000, 5)
-				ctx := context.Background()
-				if _, err := src.Draw(ctx, Request{}); !errors.Is(err, ErrBadRequest) {
-					t.Fatalf("zero request: err = %v, want ErrBadRequest", err)
-				}
-				if _, err := src.Draw(ctx, Request{T: -3}); !errors.Is(err, ErrBadRequest) {
-					t.Fatalf("negative T: err = %v, want ErrBadRequest", err)
-				}
-				if err := src.DrawFunc(ctx, Request{T: 0}, func([]Pair) error { return nil }); !errors.Is(err, ErrBadRequest) {
-					t.Fatalf("zero-T DrawFunc: err = %v, want ErrBadRequest", err)
-				}
-				short := make([]Pair, 5)
-				if _, err := src.Draw(ctx, Request{T: 10, Into: short}); !errors.Is(err, ErrBadRequest) {
-					t.Fatalf("short Into: err = %v, want ErrBadRequest", err)
-				}
-			})
-
-			t.Run("into buffer", func(t *testing.T) {
-				src := fx.make(t, R, S, confL, 10_000, 6)
-				buf := make([]Pair, 512)
-				res, err := src.Draw(context.Background(), Request{Into: buf})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if len(res.Pairs) != len(buf) {
-					t.Fatalf("got %d pairs, want %d", len(res.Pairs), len(buf))
-				}
-				if &res.Pairs[0] != &buf[0] {
-					t.Fatal("Result.Pairs is not backed by Request.Into")
-				}
-				for _, p := range res.Pairs {
-					if !Window(p.R, confL).Contains(p.S) {
-						t.Fatalf("invalid pair %v", p)
-					}
-				}
-				if res.Elapsed <= 0 {
-					t.Fatalf("Elapsed = %v", res.Elapsed)
-				}
-			})
+			srjtest.RunSourceConformance(t, fx.make)
 		})
 	}
 }
 
-// TestSourceLocalRemoteAgreement is the substitutability check in its
-// strongest form: the same build seed and the same request seed must
-// yield byte-identical samples whether the draw is served in-process
-// or over the wire.
-func TestSourceLocalRemoteAgreement(t *testing.T) {
-	R, S := confData()
-	const buildSeed = 7
-	local := newEngineSource(t, R, S, confL, 100_000, buildSeed)
-	remote := newClientSource(t, R, S, confL, 100_000, buildSeed)
+// TestSourceAgreement is the substitutability check in its strongest
+// form: the same build seed and the same request seed must yield
+// byte-identical samples whether the draw is served in-process, over
+// the wire by one server, or through the router's consistent-hash
+// ring over three servers.
+func TestSourceAgreement(t *testing.T) {
+	R, S, l := srjtest.Data()
+	cfg := srjtest.Config{R: R, S: S, L: l, MaxT: 100_000, BuildSeed: 7}
+	local := newEngineSource(t, cfg)
+	remote := newClientSource(t, cfg)
+	routed := newRouterSourceN(t, cfg, 3)
 	ctx := context.Background()
 	for _, seed := range []uint64{1, 42, 1 << 40} {
-		a, err := local.Draw(ctx, Request{T: 3000, Seed: seed})
+		a, err := local.Draw(ctx, srj.Request{T: 3000, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := remote.Draw(ctx, Request{T: 3000, Seed: seed})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i := range a.Pairs {
-			if a.Pairs[i] != b.Pairs[i] {
-				t.Fatalf("seed %d: local and remote diverged at sample %d: %v vs %v",
-					seed, i, a.Pairs[i], b.Pairs[i])
+		for name, src := range map[string]srj.Source{"client": remote, "router": routed} {
+			b, err := src.Draw(ctx, srj.Request{T: 3000, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Pairs {
+				if a.Pairs[i] != b.Pairs[i] {
+					t.Fatalf("seed %d: local and %s diverged at sample %d: %v vs %v",
+						seed, name, i, a.Pairs[i], b.Pairs[i])
+				}
 			}
 		}
 	}
@@ -341,17 +151,17 @@ func TestSourceLocalRemoteAgreement(t *testing.T) {
 // TestClientUnbound: the Source methods of an unbound client refuse
 // cleanly instead of addressing a half-empty key.
 func TestClientUnbound(t *testing.T) {
-	cl := NewClient("http://127.0.0.1:1")
-	if _, err := cl.Draw(context.Background(), Request{T: 10}); !errors.Is(err, ErrUnbound) {
+	cl := srj.NewClient("http://127.0.0.1:1")
+	if _, err := cl.Draw(context.Background(), srj.Request{T: 10}); !errors.Is(err, srj.ErrUnbound) {
 		t.Fatalf("err = %v, want ErrUnbound", err)
 	}
-	if err := cl.DrawFunc(context.Background(), Request{T: 10}, func([]Pair) error { return nil }); !errors.Is(err, ErrUnbound) {
+	if err := cl.DrawFunc(context.Background(), srj.Request{T: 10}, func([]srj.Pair) error { return nil }); !errors.Is(err, srj.ErrUnbound) {
 		t.Fatalf("err = %v, want ErrUnbound", err)
 	}
 	if _, ok := cl.Key(); ok {
 		t.Fatal("unbound client reports a key")
 	}
-	bound := cl.Bind(EngineKey{Dataset: "d", L: 1})
+	bound := cl.Bind(srj.EngineKey{Dataset: "d", L: 1})
 	if key, ok := bound.Key(); !ok || key.Algorithm != "bbst" {
 		t.Fatalf("bound key = %+v, %v (want bbst default)", key, ok)
 	}
