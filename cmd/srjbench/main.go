@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -66,21 +67,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		clients  = fs.Int("clients", runtime.NumCPU(), "serve mode: concurrent client goroutines")
 		requests = fs.Int("requests", 100, "serve mode: requests per client")
 		reqT     = fs.Int("reqt", 10000, "serve mode: samples per request")
+		updRate  = fs.Float64("update-rate", 0, "serve mode: fraction of requests that are insert/delete batches instead of draws (0 disables; local mode serves through a mutable Store, remote mode posts /v1/update — which mutates the server-side dataset for the benched key)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *serve {
+		if *updRate < 0 || *updRate >= 1 {
+			return fmt.Errorf("-update-rate must be in [0, 1), got %g", *updRate)
+		}
 		cfg := serveConfig{
-			dataset:  *dataset,
-			n:        *base,
-			l:        *l,
-			seed:     *seed,
-			algo:     srj.Algorithm(*algo),
-			clients:  *clients,
-			requests: *requests,
-			reqT:     *reqT,
+			dataset:    *dataset,
+			n:          *base,
+			l:          *l,
+			seed:       *seed,
+			algo:       srj.Algorithm(*algo),
+			clients:    *clients,
+			requests:   *requests,
+			reqT:       *reqT,
+			updateRate: *updRate,
 		}
 		if *remote != "" {
 			// The dataset lives server-side in remote mode, so a
@@ -148,14 +154,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 // serveConfig parameterizes the serving throughput mode.
 type serveConfig struct {
-	dataset  string
-	n        int
-	l        float64
-	seed     uint64
-	algo     srj.Algorithm
-	clients  int
-	requests int
-	reqT     int
+	dataset    string
+	n          int
+	l          float64
+	seed       uint64
+	algo       srj.Algorithm
+	clients    int
+	requests   int
+	reqT       int
+	updateRate float64 // fraction of requests that are update batches
 }
 
 // hammer fans clients goroutines out, each issuing requests calls of
@@ -191,6 +198,128 @@ func hammer(ctx context.Context, clients, requests int, do func(client, req int)
 	return nil
 }
 
+// runMixed is the mixed read/write hammer behind -update-rate: each
+// request is a draw through src, or — with probability
+// cfg.updateRate — an insert/delete batch through apply. Each client
+// inserts points with IDs from its own range and deletes the batch it
+// inserted two updates earlier, so the dataset churns at a steady
+// size instead of growing without bound.
+func runMixed(ctx context.Context, stdout io.Writer, cfg serveConfig, src srj.Source, apply func(ctx context.Context, u srj.Update) (uint64, error), timeout time.Duration) error {
+	fmt.Fprintf(stdout, "%d clients x %d requests x %d samples/request, update rate %.2f\n",
+		cfg.clients, cfg.requests, cfg.reqT, cfg.updateRate)
+	const batchPts = 4 // points inserted per side per update batch
+	type clientState struct {
+		rng     *rand.Rand
+		batches int       // update batches this client has issued
+		prev    [][]int32 // ID batches awaiting deletion (fifo, depth 2)
+	}
+	states := make([]*clientState, cfg.clients)
+	for i := range states {
+		states[i] = &clientState{rng: rand.New(rand.NewSource(int64(cfg.seed) + int64(i)*7919))}
+	}
+	var draws, drawSamples, updates, updateOps atomic.Int64
+	var lastGen atomic.Uint64
+	domain := 10_000.0
+	start := time.Now()
+	err := hammer(ctx, cfg.clients, cfg.requests, func(client, _ int) error {
+		reqCtx := ctx
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			reqCtx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		st := states[client]
+		if st.rng.Float64() >= cfg.updateRate {
+			err := src.DrawFunc(reqCtx, srj.Request{T: cfg.reqT}, func([]srj.Pair) error { return nil })
+			if err == nil {
+				draws.Add(1)
+				drawSamples.Add(int64(cfg.reqT))
+			}
+			return err
+		}
+		// IDs far above any generated dataset's range, disjoint per
+		// client and never reused: (1<<28) + client*(1<<20) + counter.
+		idBase := int32(1<<28) + int32(client)<<20 + int32(st.batches)*2*batchPts
+		st.batches++
+		u := srj.Update{}
+		ids := make([]int32, 0, 2*batchPts)
+		for i := 0; i < batchPts; i++ {
+			id := idBase + int32(i)
+			u.InsertR = append(u.InsertR, srj.Point{ID: id, X: st.rng.Float64() * domain, Y: st.rng.Float64() * domain})
+			ids = append(ids, id)
+		}
+		for i := 0; i < batchPts; i++ {
+			id := idBase + int32(batchPts+i)
+			u.InsertS = append(u.InsertS, srj.Point{ID: id, X: st.rng.Float64() * domain, Y: st.rng.Float64() * domain})
+			ids = append(ids, id)
+		}
+		if len(st.prev) >= 2 {
+			old := st.prev[0]
+			st.prev = st.prev[1:]
+			u.DeleteR = append(u.DeleteR, old[:batchPts]...)
+			u.DeleteS = append(u.DeleteS, old[batchPts:]...)
+		}
+		st.prev = append(st.prev, ids)
+		gen, err := apply(reqCtx, u)
+		if err != nil {
+			return err
+		}
+		updates.Add(1)
+		updateOps.Add(int64(len(u.InsertR) + len(u.InsertS) + len(u.DeleteR) + len(u.DeleteS)))
+		for {
+			cur := lastGen.Load()
+			if gen <= cur || lastGen.CompareAndSwap(cur, gen) {
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "mixed workload finished in %v: %d draws (%d samples), %d update batches (%d ops), dataset at generation %d\n",
+		elapsed.Round(time.Millisecond), draws.Load(), drawSamples.Load(), updates.Load(), updateOps.Load(), lastGen.Load())
+	fmt.Fprintf(stdout, "throughput: %.3g samples/sec alongside %.1f updates/sec\n",
+		float64(drawSamples.Load())/elapsed.Seconds(), float64(updates.Load())/elapsed.Seconds())
+	return nil
+}
+
+// runServeMixedLocal is the -update-rate variant of runServe: the
+// dataset is served through a mutable Store, and a fraction of the
+// hammer's requests are update batches.
+func runServeMixedLocal(ctx context.Context, stdout io.Writer, cfg serveConfig) error {
+	R, err := srj.Generate(cfg.dataset, cfg.n, cfg.seed)
+	if err != nil {
+		return err
+	}
+	S, err := srj.Generate(cfg.dataset, cfg.n, cfg.seed+1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serve (mutable): algorithm=%s dataset=%s n=m=%d l=%g\n",
+		cfg.algo, cfg.dataset, cfg.n, cfg.l)
+	buildStart := time.Now()
+	store, err := srj.NewStore(R, S, cfg.l, &srj.StoreOptions{Algorithm: cfg.algo, Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "store base built once in %v (%.1f MiB)\n",
+		time.Since(buildStart).Round(time.Millisecond), float64(store.SizeBytes())/(1<<20))
+	if err := runMixed(ctx, stdout, cfg, store, store.Apply, 0); err != nil {
+		return err
+	}
+	// Let a threshold-triggered compaction finish so its cost lands
+	// inside the bench, not in a dangling goroutine.
+	if err := store.Quiesce(ctx); err != nil {
+		return err
+	}
+	st := store.Stats()
+	fmt.Fprintf(stdout, "store: generation %d, %d ops pending compaction, avg draw latency %v\n",
+		store.Generation(), store.Pending(), st.AvgLatency().Round(time.Microsecond))
+	return nil
+}
+
 // runServe builds an Engine once and hammers it with clients×requests
 // concurrent sampling requests of reqT samples each through the
 // Source API, then reports the aggregate throughput next to a
@@ -199,6 +328,9 @@ func hammer(ctx context.Context, clients, requests int, do func(client, req int)
 func runServe(ctx context.Context, stdout io.Writer, cfg serveConfig) error {
 	if cfg.clients < 1 || cfg.requests < 1 || cfg.reqT < 1 {
 		return fmt.Errorf("serve mode needs positive -clients, -requests, -reqt")
+	}
+	if cfg.updateRate > 0 {
+		return runServeMixedLocal(ctx, stdout, cfg)
 	}
 	R, err := srj.Generate(cfg.dataset, cfg.n, cfg.seed)
 	if err != nil {
@@ -279,6 +411,7 @@ type remoteTarget interface {
 	bind(key srj.EngineKey) srj.Source
 	health(ctx context.Context) error
 	evict(ctx context.Context, key srj.EngineKey) (bool, error)
+	apply(ctx context.Context, key srj.EngineKey, u srj.Update) (uint64, error)
 	printStats(ctx context.Context, stdout io.Writer) error
 }
 
@@ -289,6 +422,9 @@ func (t clientTarget) bind(key srj.EngineKey) srj.Source { return t.cl.Bind(key)
 func (t clientTarget) health(ctx context.Context) error  { return t.cl.Health(ctx) }
 func (t clientTarget) evict(ctx context.Context, key srj.EngineKey) (bool, error) {
 	return t.cl.EvictEngine(ctx, key)
+}
+func (t clientTarget) apply(ctx context.Context, key srj.EngineKey, u srj.Update) (uint64, error) {
+	return t.cl.Bind(key).Apply(ctx, u)
 }
 func (t clientTarget) printStats(ctx context.Context, stdout io.Writer) error {
 	st, err := t.cl.Stats(ctx)
@@ -306,6 +442,9 @@ func (t routerTarget) bind(key srj.EngineKey) srj.Source { return t.rt.Bind(key)
 func (t routerTarget) health(ctx context.Context) error  { return t.rt.Health(ctx) }
 func (t routerTarget) evict(ctx context.Context, key srj.EngineKey) (bool, error) {
 	return t.rt.EvictEngine(ctx, key)
+}
+func (t routerTarget) apply(ctx context.Context, key srj.EngineKey, u srj.Update) (uint64, error) {
+	return t.rt.ApplyUpdate(ctx, key, u)
 }
 func (t routerTarget) printStats(ctx context.Context, stdout io.Writer) error {
 	// ServerStats returns whatever the reachable backends answered
@@ -411,6 +550,23 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 	}
 	fmt.Fprintf(stdout, "engine warmed through the registry in %v\n",
 		time.Since(warmStart).Round(time.Millisecond))
+
+	if cfg.updateRate > 0 {
+		// Mixed read/write mode: a fraction of requests post
+		// /v1/update batches (mutating the server-side dataset for
+		// this key); the rest draw as usual. The rebuild-per-request
+		// baseline is skipped — update batches already exercise the
+		// server's build path through generation bumps.
+		err := runMixed(ctx, stdout, cfg, src, func(ctx context.Context, u srj.Update) (uint64, error) {
+			return target.apply(ctx, key, u)
+		}, requestTimeout)
+		if err != nil {
+			return err
+		}
+		statsCtx, cancelStats := context.WithTimeout(ctx, 10*time.Second)
+		defer cancelStats()
+		return target.printStats(statsCtx, stdout)
+	}
 
 	fmt.Fprintf(stdout, "%d clients x %d requests x %d samples/request\n",
 		cfg.clients, cfg.requests, cfg.reqT)

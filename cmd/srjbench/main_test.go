@@ -67,6 +67,57 @@ func TestServeMode(t *testing.T) {
 // srjserver — here an in-process srj.NewServer on an httptest
 // listener — and must show the cached-engine path beating the
 // rebuild-per-request baseline.
+// TestServeModeMixedLocal: -update-rate serves through a mutable
+// Store, interleaving update batches with draws.
+func TestServeModeMixedLocal(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-serve", "-base", "2000", "-clients", "4",
+		"-requests", "6", "-reqt", "200", "-update-rate", "0.5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"serve (mutable)",
+		"update rate 0.50",
+		"mixed workload finished",
+		"update batches",
+		"store: generation",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("mixed serve output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestServeModeMixedRemote: the same mixed workload over the wire —
+// update batches post /v1/update and bump the server-side generation.
+func TestServeModeMixedRemote(t *testing.T) {
+	srv, err := srj.NewServer(&srj.ServerOptions{DatasetSize: 2000, MaxT: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var out bytes.Buffer
+	err = run(context.Background(), []string{"-serve", "-remote", ts.URL, "-dataset", "uniform",
+		"-l", "200", "-clients", "3", "-requests", "6", "-reqt", "100", "-update-rate", "0.5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mixed workload finished",
+		"update batches",
+		"server registry:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("mixed remote output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "rebuild-per-request baseline") {
+		t.Error("mixed mode ran the rebuild baseline")
+	}
+}
+
 func TestServeModeRemote(t *testing.T) {
 	srv, err := srj.NewServer(&srj.ServerOptions{DatasetSize: 2000, MaxT: 100_000})
 	if err != nil {

@@ -15,11 +15,13 @@
 //	srjrouter http://s0:8080 http://s1:8080        # backends as args
 //
 // API: srjserver's surface fleet-wide — POST /v1/sample (JSON or
-// framed binary), GET /v1/stats (fleet aggregate in srjserver's
-// shape), GET/DELETE /v1/engines (concatenated list / broadcast
-// eviction), GET /healthz (200 while any backend answers) — plus
-// GET /v1/router for routing stats (per-backend health and counters,
-// per-key shard assignments).
+// framed binary), POST /v1/update (insert/delete batches broadcast to
+// every shard, so each backend's store and engine cache advance to
+// the same dataset generation), GET /v1/stats (fleet aggregate in
+// srjserver's shape), GET/DELETE /v1/engines (concatenated list /
+// broadcast eviction), GET /healthz (200 while any backend answers) —
+// plus GET /v1/router for routing stats (per-backend health and
+// counters, per-key shard assignments).
 package main
 
 import (

@@ -15,8 +15,14 @@
 //	srjserver -warm "nyc:100;castreet:50:bbst:7"  # prebuild engines
 //	srjserver -budget-mb 4096 -maxt 5000000    # cache and request limits
 //
-// API (see internal/server): POST /v1/sample, GET /v1/stats,
-// GET /v1/engines, GET /healthz.
+// Datasets are mutable over the wire: POST /v1/update applies
+// insert/delete batches to a key's dynamic store (created on first
+// update from the same resolver), bumps the dataset generation, and
+// evicts the engines the bump made stale; sampling always follows the
+// current generation, so deleted points are never served.
+//
+// API (see internal/server): POST /v1/sample, POST /v1/update,
+// GET /v1/stats, GET /v1/engines, GET /healthz.
 package main
 
 import (

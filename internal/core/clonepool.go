@@ -7,18 +7,12 @@ import (
 	"repro/internal/rng"
 )
 
-// reseeder is the hook ClonePool uses to hand a checked-out clone a
-// fresh random stream. Every sampler embeds *base, so every clone
-// implements it.
-type reseeder interface {
-	reseed(seed uint64)
-}
-
-// reseed reinitializes the sampler's random stream in place. ClonePool
-// calls it on every checkout so that the samples a request draws
-// depend only on the pool's seed and the checkout order — never on
-// which recycled clone happens to serve the request.
-func (b *base) reseed(seed uint64) { b.rng.Reseed(seed) }
+// Reseed reinitializes the sampler's random stream in place (the
+// Reseeder contract). ClonePool calls it on every checkout so that the
+// samples a request draws depend only on the pool's seed and the
+// checkout order — never on which recycled clone happens to serve the
+// request. Every sampler embeds *base, so every clone implements it.
+func (b *base) Reseed(seed uint64) { b.rng.Reseed(seed) }
 
 // ClonePool is a concurrency-safe pool of sampler clones over one
 // prepared parent. The parent's structures (grid, corner indexes,
@@ -52,7 +46,7 @@ func NewClonePool(parent Cloner, seed uint64) (*ClonePool, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, ok := first.(reseeder); !ok {
+	if _, ok := first.(Reseeder); !ok {
 		return nil, fmt.Errorf("core: %s clones do not support reseeding", parent.Name())
 	}
 	p := &ClonePool{parent: parent, seq: rng.New(seed)}
@@ -84,7 +78,7 @@ func (p *ClonePool) Get() (Sampler, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.(reseeder).reseed(seed)
+	s.(Reseeder).Reseed(seed)
 	return s, nil
 }
 
@@ -100,7 +94,7 @@ func (p *ClonePool) GetSeeded(seed uint64) (Sampler, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.(reseeder).reseed(seed)
+	s.(Reseeder).Reseed(seed)
 	return s, nil
 }
 

@@ -208,9 +208,38 @@ func (g *gridSampler) sampleDir(c *grid.Cell, d grid.Direction, w geom.Rect) (ge
 	}
 }
 
-// next is the sampling phase (lines 10–15 of Algorithm 1): weighted r,
-// weighted cell, uniform slot, accept iff the slot holds a point of
-// w(r). Every pair of J is accepted with probability exactly 1/Σµ.
+// tryOnce is one iteration of the sampling phase (lines 10–15 of
+// Algorithm 1): weighted r, weighted cell, uniform slot, accept iff
+// the slot holds a point of w(r). Every pair of J is accepted with
+// probability exactly 1/Σµ per trial.
+func (g *gridSampler) tryOnce(nb *[grid.NumDirections]*grid.Cell) (geom.Pair, bool) {
+	g.stats.Iterations++
+	ri := g.tab.Sample(g.rng)
+	ca := &g.cellAlias[ri]
+	if ca.Len() == 0 {
+		return geom.Pair{}, false // µ(r) == 0; alias weight 0 makes this unreachable
+	}
+	r := g.R[ri]
+	w := g.window(r)
+	d := grid.Direction(ca.Sample(g.rng))
+	g.g.Neighborhood(r, nb)
+	c := nb[d]
+	if c == nil {
+		return geom.Pair{}, false // zero-weight direction; defensive
+	}
+	s, ok := g.sampleDir(c, d, w)
+	if !ok || !w.Contains(s) {
+		return geom.Pair{}, false // empty slot or out-of-window candidate
+	}
+	p := geom.Pair{R: r, S: s}
+	if !g.accept(p) {
+		return geom.Pair{}, false
+	}
+	g.stats.Samples++
+	return p, true
+}
+
+// next drives tryOnce under the rejection budget.
 func (g *gridSampler) next(self phased) (geom.Pair, error) {
 	if err := ensure(self, g.base, phaseCounted); err != nil {
 		return geom.Pair{}, err
@@ -220,35 +249,28 @@ func (g *gridSampler) next(self phased) (geom.Pair, error) {
 	timed(&g.stats.SampleTime, func() {
 		var nb [grid.NumDirections]*grid.Cell
 		for attempt := 0; attempt < g.cfg.maxRejects(); attempt++ {
-			g.stats.Iterations++
-			ri := g.tab.Sample(g.rng)
-			ca := &g.cellAlias[ri]
-			if ca.Len() == 0 {
-				continue // µ(r) == 0; alias weight 0 makes this unreachable
+			if p, ok := g.tryOnce(&nb); ok {
+				out = p
+				return
 			}
-			r := g.R[ri]
-			w := g.window(r)
-			d := grid.Direction(ca.Sample(g.rng))
-			g.g.Neighborhood(r, &nb)
-			c := nb[d]
-			if c == nil {
-				continue // zero-weight direction; defensive
-			}
-			s, ok := g.sampleDir(c, d, w)
-			if !ok || !w.Contains(s) {
-				continue // empty slot or out-of-window candidate
-			}
-			p := geom.Pair{R: r, S: s}
-			if !g.accept(p) {
-				continue
-			}
-			g.stats.Samples++
-			out = p
-			return
 		}
 		err = ErrLowAcceptance
 	})
 	return out, err
+}
+
+// tryNext exposes one trial (the Trial contract) for mixture callers.
+// Unlike next it does not charge SampleTime: a mixture driver calls
+// it once per rejection attempt on its hot loop and owns the timing
+// of the whole draw — two clock reads per trial would dominate the
+// trial itself.
+func (g *gridSampler) tryNext(self phased) (geom.Pair, bool, error) {
+	if err := ensure(self, g.base, phaseCounted); err != nil {
+		return geom.Pair{}, false, err
+	}
+	var nb [grid.NumDirections]*grid.Cell
+	p, ok := g.tryOnce(&nb)
+	return p, ok, nil
 }
 
 // cloneGrid derives an independent gridSampler over the same immutable

@@ -73,18 +73,35 @@ func (j *JoinSample) Next() (geom.Pair, error) {
 	var err error
 	timed(&j.stats.SampleTime, func() {
 		for attempt := 0; attempt < j.cfg.maxRejects(); attempt++ {
-			j.stats.Iterations++
-			p := j.joined[j.rng.Intn(len(j.joined))]
-			if !j.accept(p) {
-				continue
+			if p, ok := j.tryOnce(); ok {
+				out = p
+				return
 			}
-			j.stats.Samples++
-			out = p
-			return
 		}
 		err = ErrLowAcceptance
 	})
 	return out, err
+}
+
+// tryOnce is one sampling iteration over the materialized join.
+func (j *JoinSample) tryOnce() (geom.Pair, bool) {
+	j.stats.Iterations++
+	p := j.joined[j.rng.Intn(len(j.joined))]
+	if !j.accept(p) {
+		return geom.Pair{}, false
+	}
+	j.stats.Samples++
+	return p, true
+}
+
+// TryNext runs one sampling trial (the Trial contract). It does not
+// charge SampleTime — the mixture driving it owns the draw's timing.
+func (j *JoinSample) TryNext() (geom.Pair, bool, error) {
+	if err := ensure(j, j.base, phaseCounted); err != nil {
+		return geom.Pair{}, false, err
+	}
+	p, ok := j.tryOnce()
+	return p, ok, nil
 }
 
 // Sample draws t samples via Next.

@@ -98,6 +98,26 @@ func NewRTS(R, S []geom.Point, cfg Config) (*KDS, error) {
 	return &KDS{base: b, index: &rIndex{}}, nil
 }
 
+// NewKDSWith builds a KDS over R and the donor's S side, sharing the
+// donor's already-built spatial index instead of building a new one.
+// The donor must be preprocessed (NewKDSWith preprocesses it when
+// not); the returned sampler starts at the preprocessed phase with a
+// zero PreprocessTime, since the index cost was the donor's. The
+// dynamic-update overlay uses this to re-count small insert buffers
+// against a large immutable base side on every applied batch without
+// paying an O(m log m) tree rebuild each time.
+func NewKDSWith(R []geom.Point, donor *KDS, cfg Config) (*KDS, error) {
+	if err := donor.Preprocess(); err != nil {
+		return nil, err
+	}
+	b, err := newBase(donor.name, R, donor.S, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b.state = phasePreprocessed
+	return &KDS{base: b, index: donor.index.clone()}, nil
+}
+
 // Preprocess builds the spatial index over S (the offline phase of
 // Table II).
 func (k *KDS) Preprocess() error {
@@ -166,24 +186,43 @@ func (k *KDS) Next() (geom.Pair, error) {
 	var err error
 	timed(&k.stats.SampleTime, func() {
 		for attempt := 0; attempt < k.cfg.maxRejects(); attempt++ {
-			k.stats.Iterations++
-			r := k.R[k.tab.Sample(k.rng)]
-			s, _, ok := k.index.Sample(k.window(r), k.rng)
-			if !ok {
-				// Impossible with exact counts; defensive.
-				continue
+			if p, ok := k.tryOnce(); ok {
+				out = p
+				return
 			}
-			p := geom.Pair{R: r, S: s}
-			if !k.accept(p) {
-				continue
-			}
-			k.stats.Samples++
-			out = p
-			return
 		}
 		err = ErrLowAcceptance
 	})
 	return out, err
+}
+
+// tryOnce is one sampling iteration: alias-weighted r, uniform
+// in-window s. Exact counts mean it only rejects through the
+// without-replacement filter.
+func (k *KDS) tryOnce() (geom.Pair, bool) {
+	k.stats.Iterations++
+	r := k.R[k.tab.Sample(k.rng)]
+	s, _, ok := k.index.Sample(k.window(r), k.rng)
+	if !ok {
+		// Impossible with exact counts; defensive.
+		return geom.Pair{}, false
+	}
+	p := geom.Pair{R: r, S: s}
+	if !k.accept(p) {
+		return geom.Pair{}, false
+	}
+	k.stats.Samples++
+	return p, true
+}
+
+// TryNext runs one sampling trial (the Trial contract). It does not
+// charge SampleTime — the mixture driving it owns the draw's timing.
+func (k *KDS) TryNext() (geom.Pair, bool, error) {
+	if err := ensure(k, k.base, phaseCounted); err != nil {
+		return geom.Pair{}, false, err
+	}
+	p, ok := k.tryOnce()
+	return p, ok, nil
 }
 
 // Sample draws t samples via Next.
@@ -198,7 +237,10 @@ func (k *KDS) SizeBytes() int {
 	return total
 }
 
-var _ Sampler = (*KDS)(nil)
+var (
+	_ Sampler = (*KDS)(nil)
+	_ Trial   = (*KDS)(nil)
+)
 
 // String aids debugging.
 func (k *KDS) String() string {

@@ -1,0 +1,249 @@
+package dynamic
+
+// The delta-overlay sampler. A mutated dataset decomposes into the
+// bulk-built base sides (R₀, S₀) plus small per-side insert buffers
+// (Rᵢ, Sᵢ) and delete tombstones; the current join then decomposes
+// into four disjoint components:
+//
+//	bb = J(R₀, S₀)   — the base sampler, rejecting tombstoned pairs
+//	bi = J(R₀, Sᵢ)   — base r with inserted s, rejecting tombstoned r
+//	ib = J(Rᵢ, S₀)   — inserted r with base s, rejecting tombstoned s
+//	ii = J(Rᵢ, Sᵢ)   — inserted with inserted, nothing to reject
+//
+// Each component exposes one sampling *trial* (core.Trial): a
+// candidate pair drawn with probability exactly 1/mass per trial,
+// where mass is the component's Σµ (exact |J_c| for the KDS deltas,
+// the paper's upper bound for an approximate base). The overlay picks
+// a component by a Walker alias over the masses and runs one trial;
+// a rejection — the component's own, or a tombstoned pair — retries
+// the whole mixture. Every live pair is therefore returned by one
+// mixture trial with probability exactly 1/Σ masses, which is the
+// uniformity argument of the paper's Algorithm 1 lifted to the
+// mutable setting. The price of mutability is acceptance: tombstones
+// lower the live fraction of bb, so the rejection budget
+// (ErrLowAcceptance) bounds the damage and the Store rebuilds the
+// base before the delta fraction can rot the acceptance rate.
+//
+// With a single component and no tombstones (a freshly built or
+// freshly compacted store) the overlay consumes no mixture
+// randomness of its own, so its draws are byte-identical to the
+// plain engine over the same structures — a gen-0 Store agrees with
+// srj.Engine sample for sample.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// componentShared is the immutable, clone-shared half of a mixture
+// component: its trial mass and the tombstone sets its candidates are
+// rejected against (nil means no rejection on that side).
+type componentShared struct {
+	mass float64
+	rejR map[int32]struct{}
+	rejS map[int32]struct{}
+}
+
+// component pairs a per-clone trial handle with its shared weight.
+type component struct {
+	trial  core.Trial
+	shared *componentShared
+}
+
+// overlay is the mixture sampler over the components of one view. It
+// implements core.Sampler, core.Cloner, and core.Reseeder, so
+// engine.New can pool clones of it exactly like any bulk-built
+// sampler.
+type overlay struct {
+	name       string
+	maxRejects int
+	comps      []component
+	tab        *alias.Table // over component masses; nil when len(comps) == 1
+	rng        *rng.RNG     // mixture stream; unused with a single component
+	stats      core.Stats
+}
+
+// newOverlay assembles the mixture from prepared components. It
+// returns core.ErrEmptyJoin when no component has mass — the current
+// join is empty.
+func newOverlay(name string, maxRejects int, seed uint64, comps []component) (*overlay, error) {
+	if len(comps) == 0 {
+		return nil, core.ErrEmptyJoin
+	}
+	total := 0.0
+	masses := make([]float64, len(comps))
+	for i, c := range comps {
+		masses[i] = c.shared.mass
+		total += c.shared.mass
+	}
+	if total <= 0 {
+		return nil, core.ErrEmptyJoin
+	}
+	o := &overlay{
+		name:       name,
+		maxRejects: maxRejects,
+		comps:      comps,
+		rng:        rng.New(seed),
+	}
+	if len(comps) > 1 {
+		tab, err := alias.New(masses)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: building component alias: %w", err)
+		}
+		o.tab = tab
+	}
+	o.stats.MuSum = total
+	return o, nil
+}
+
+// Name identifies the sampler in engine stats.
+func (o *overlay) Name() string { return o.name }
+
+// Preprocess is a no-op: every component was prepared at view build.
+func (o *overlay) Preprocess() error { return nil }
+
+// Build is a no-op: every component was prepared at view build.
+func (o *overlay) Build() error { return nil }
+
+// Count is a no-op: every component was prepared at view build.
+func (o *overlay) Count() error { return nil }
+
+// tryOnce runs one mixture trial: pick a component proportional to
+// its mass, run one of its trials, and reject tombstoned candidates.
+func (o *overlay) tryOnce() (geom.Pair, bool, error) {
+	o.stats.Iterations++
+	ci := 0
+	if o.tab != nil {
+		ci = o.tab.Sample(o.rng)
+	}
+	c := &o.comps[ci]
+	p, ok, err := c.trial.TryNext()
+	if err != nil || !ok {
+		return geom.Pair{}, false, err
+	}
+	if c.shared.rejR != nil {
+		if _, dead := c.shared.rejR[p.R.ID]; dead {
+			return geom.Pair{}, false, nil
+		}
+	}
+	if c.shared.rejS != nil {
+		if _, dead := c.shared.rejS[p.S.ID]; dead {
+			return geom.Pair{}, false, nil
+		}
+	}
+	o.stats.Samples++
+	return p, true, nil
+}
+
+// TryNext runs one mixture trial (the Trial contract, so overlays
+// nest if a future tier ever wants to). Like every TryNext it leaves
+// SampleTime to whoever drives the trial loop.
+func (o *overlay) TryNext() (geom.Pair, bool, error) {
+	return o.tryOnce()
+}
+
+// Next draws one uniform independent sample of the current join.
+func (o *overlay) Next() (geom.Pair, error) {
+	start := time.Now()
+	defer func() { o.stats.SampleTime += time.Since(start) }()
+	for attempt := 0; attempt < o.maxRejects; attempt++ {
+		p, ok, err := o.tryOnce()
+		if err != nil {
+			return geom.Pair{}, err
+		}
+		if ok {
+			return p, nil
+		}
+	}
+	return geom.Pair{}, core.ErrLowAcceptance
+}
+
+// Sample draws t samples via Next.
+func (o *overlay) Sample(t int) ([]geom.Pair, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("dynamic: negative sample count %d", t)
+	}
+	out := make([]geom.Pair, 0, t)
+	for len(out) < t {
+		p, err := o.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Stats reports the mixture counters: MuSum is the total component
+// mass, so aggregate.JoinSizeEstimate estimates the *live* join size
+// (tombstone rejections count as ordinary rejected iterations).
+func (o *overlay) Stats() core.Stats { return o.stats }
+
+// SizeBytes sums the component structures plus the tombstone sets.
+// The base component's structures are shared with the previous view,
+// so summing across resident generations double-counts; the Store
+// documents the approximation.
+func (o *overlay) SizeBytes() int {
+	total := 0
+	for _, c := range o.comps {
+		total += c.trial.SizeBytes()
+		total += 16 * (len(c.shared.rejR) + len(c.shared.rejS))
+	}
+	if o.tab != nil {
+		total += o.tab.SizeBytes()
+	}
+	return total
+}
+
+// Clone derives an independent mixture handle: each component is
+// cloned (sharing its immutable structures), the mixture stream is
+// split, and the shared weights are reused.
+func (o *overlay) Clone() (core.Sampler, error) {
+	comps := make([]component, len(o.comps))
+	for i, c := range o.comps {
+		cl, err := c.trial.(core.Cloner).Clone()
+		if err != nil {
+			return nil, err
+		}
+		t, ok := cl.(core.Trial)
+		if !ok {
+			return nil, fmt.Errorf("dynamic: %s clone does not support trials", c.trial.Name())
+		}
+		comps[i] = component{trial: t, shared: c.shared}
+	}
+	return &overlay{
+		name:       o.name,
+		maxRejects: o.maxRejects,
+		comps:      comps,
+		tab:        o.tab,
+		rng:        o.rng.Split(),
+		stats:      core.Stats{MuSum: o.stats.MuSum},
+	}, nil
+}
+
+// Reseed reinitializes every stream the mixture consumes, so equal
+// seeds draw equal samples within one view. With a single component
+// the seed is handed through verbatim — a fresh store's seeded draws
+// are byte-identical to a plain engine's over the same structures.
+func (o *overlay) Reseed(seed uint64) {
+	if len(o.comps) == 1 {
+		o.comps[0].trial.(core.Reseeder).Reseed(seed)
+		return
+	}
+	o.rng.Reseed(seed)
+	for i := range o.comps {
+		o.comps[i].trial.(core.Reseeder).Reseed(o.rng.Uint64())
+	}
+}
+
+var (
+	_ core.Sampler  = (*overlay)(nil)
+	_ core.Cloner   = (*overlay)(nil)
+	_ core.Trial    = (*overlay)(nil)
+	_ core.Reseeder = (*overlay)(nil)
+)

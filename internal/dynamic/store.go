@@ -1,0 +1,780 @@
+// Package dynamic makes the paper's bulk-built join samplers mutable.
+// The structures of "Random Sampling over Spatial Range Joins" are
+// built once over immutable R and S; a serving system also needs
+// insert and delete. This package lands that LSM-style: a Store holds
+// the bulk-built *base* sampler plus per-side insert buffers and
+// delete tombstones, samples uniformly from the live join through a
+// weighted mixture over {base, delta} components (see overlay.go for
+// the uniformity argument), and — when the delta fraction crosses a
+// threshold — rebuilds the base in a background goroutine at a bumped
+// *generation number* and swaps it in atomically.
+//
+// Generations are the invalidation currency of the serving stack:
+// every applied batch bumps the store's generation, registry keys
+// carry one (internal/registry), so engines cached for an older
+// generation simply miss instead of serving deleted points, and the
+// shard router broadcasts updates so every backend's stores and
+// caches advance together.
+//
+// Concurrency model: Draw/DrawFunc never block on writers — they load
+// an immutable *view* (base + deltas + per-view serving engine)
+// through an atomic pointer and draw from it. Apply and the rebuild
+// swap serialize on one mutex and publish whole new views; requests
+// in flight on an old view finish against the structures they
+// started with, exactly like a registry eviction never invalidates an
+// engine already checked out.
+package dynamic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+)
+
+// DefaultRebuildFraction is the delta fraction past which a
+// background base rebuild is triggered: buffered inserts plus
+// tombstones may reach this fraction of the base point count before
+// the Store compacts them into a fresh bulk build.
+const DefaultRebuildFraction = 0.25
+
+// defaultMaxRejects mirrors core.Config's rejection budget.
+const defaultMaxRejects = 1 << 24
+
+// ErrStaleGeneration reports a request for a generation the store has
+// already moved past. The registry's BuildFunc returns it when a
+// generation-tagged key loses the race with a concurrent Apply; the
+// server retries with the fresh generation. It is never cached (the
+// registry does not cache build errors).
+var ErrStaleGeneration = errors.New("dynamic: generation is stale")
+
+// Update is one batch of mutations: points to insert and point IDs to
+// delete, per side. Deleting an ID removes every live point carrying
+// it on that side — buffered inserts are dropped, base points are
+// tombstoned; an ID present nowhere is a no-op. Re-inserting a
+// deleted ID is allowed: the tombstone keeps the base copy dead and
+// the new point lives in the insert buffer.
+type Update struct {
+	InsertR []geom.Point `json:"insert_r,omitempty"`
+	InsertS []geom.Point `json:"insert_s,omitempty"`
+	DeleteR []int32      `json:"delete_r,omitempty"`
+	DeleteS []int32      `json:"delete_s,omitempty"`
+}
+
+// Empty reports whether the update carries no operations.
+func (u Update) Empty() bool { return u.Ops() == 0 }
+
+// Ops counts the operations the update carries.
+func (u Update) Ops() int {
+	return len(u.InsertR) + len(u.InsertS) + len(u.DeleteR) + len(u.DeleteS)
+}
+
+// Validate rejects updates the index structures cannot absorb:
+// non-finite insert coordinates. Errors wrap engine.ErrBadRequest, so
+// servers answer 400 and errors.Is works identically local and
+// remote.
+func (u Update) Validate() error {
+	if err := validFinite(u.InsertR, "insert_r"); err != nil {
+		return err
+	}
+	return validFinite(u.InsertS, "insert_s")
+}
+
+func validFinite(pts []geom.Point, side string) error {
+	for i, p := range pts {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return fmt.Errorf("%w: %s point %d (ID %d) has non-finite coordinates",
+				engine.ErrBadRequest, side, i, p.ID)
+		}
+	}
+	return nil
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// BuildBase bulk-builds the base sampler over the given point
+	// sets (the algorithm choice lives in this closure; the root
+	// package supplies srj.NewSampler). The returned sampler must
+	// implement core.Trial — BBST, KDS, GridKD, RTS, and JoinSample
+	// all do. Required.
+	BuildBase func(R, S []geom.Point) (core.Cloner, error)
+	// HalfExtent is the window half-extent l, shared by the base and
+	// the delta components. Must be positive and finite.
+	HalfExtent float64
+	// Seed drives the per-view serving pools and the delta samplers;
+	// equal seeds make equal-seeded draws reproducible within one
+	// generation.
+	Seed uint64
+	// MaxRejects bounds consecutive rejected mixture trials per
+	// sample (0 = the core default). Tombstones consume acceptance,
+	// so a store far past its rebuild threshold degrades toward
+	// ErrLowAcceptance instead of returning deleted points.
+	MaxRejects int
+	// MaxT caps the samples one request may ask for on every view
+	// engine (0 = unlimited).
+	MaxT int
+	// RebuildFraction is the delta fraction that triggers a
+	// background base rebuild (<= 0 means DefaultRebuildFraction).
+	RebuildFraction float64
+	// DisableAutoRebuild suppresses threshold-triggered rebuilds;
+	// Compact still rebuilds on demand. Tests use it to pin the
+	// overlay path.
+	DisableAutoRebuild bool
+	// OnGeneration, when non-nil, is invoked with the new generation
+	// after every view swap — Applies AND background rebuild swaps,
+	// which bump the generation with no Apply in sight. The serving
+	// layer hangs cache invalidation here (evicting registry engines
+	// of older generations), so a rebuild's bump cannot strand a
+	// stale view engine in the cache until the next update. Called
+	// under the store's write lock: keep it fast and do not call back
+	// into the store.
+	OnGeneration func(gen uint64)
+	// Name labels the store's samplers in engine stats (default
+	// "dynamic").
+	Name string
+}
+
+func (c Config) rebuildFraction() float64 {
+	if c.RebuildFraction > 0 {
+		return c.RebuildFraction
+	}
+	return DefaultRebuildFraction
+}
+
+func (c Config) maxRejects() int {
+	if c.MaxRejects > 0 {
+		return c.MaxRejects
+	}
+	return defaultMaxRejects
+}
+
+// view is one immutable snapshot of the store: the base structures,
+// the deltas applied on top, and the serving engine over their
+// mixture. Draws load it atomically; writers replace it wholesale.
+type view struct {
+	gen uint64
+
+	baseR, baseS     []geom.Point
+	baseIDR, baseIDS map[int32]struct{}
+	base             core.Cloner // prepared through Count; nil when the base join is empty
+	baseMass         float64     // the base sampler's Σµ
+	donorS           *core.KDS   // lazily-indexed donor over baseS for the ib component
+
+	insR, insS []geom.Point
+	delR, delS map[int32]struct{}
+
+	eng         *engine.Engine // nil when the current join is empty
+	overlaySize int
+
+	estMu sync.Mutex
+	est   core.Sampler // overlay clone for join-size estimation
+}
+
+// deltaOps counts the buffered mutations the view carries.
+func (v *view) deltaOps() int {
+	return len(v.insR) + len(v.insS) + len(v.delR) + len(v.delS)
+}
+
+// Store is a mutable join-sampling dataset: the Source-serving front
+// of this package. Construct with NewStore; all methods are safe for
+// concurrent use.
+type Store struct {
+	cfg  Config
+	view atomic.Pointer[view]
+
+	mu             sync.Mutex
+	log            []Update // updates absorbed since the current base was built
+	rebuilding     bool
+	rebuildDone    chan struct{}
+	lastRebuildErr error
+	acc            engine.Stats // counters of retired view engines
+
+	// testHookSwap, when set (by tests, before serving), runs under mu
+	// immediately after every view swap — the in-lock invariant hook
+	// of the race hammer.
+	testHookSwap func(*view)
+}
+
+// NewStore bulk-builds the base over R and S and returns a store
+// serving them at generation 0. The slices are not copied and must
+// not be mutated afterwards (Apply never touches them — mutations
+// live in the store's own buffers). Empty sides are allowed: a store
+// may start empty and be filled through Apply.
+func NewStore(R, S []geom.Point, cfg Config) (*Store, error) {
+	if cfg.BuildBase == nil {
+		return nil, fmt.Errorf("dynamic: Config.BuildBase is required")
+	}
+	if !(cfg.HalfExtent > 0) || math.IsInf(cfg.HalfExtent, 0) {
+		return nil, fmt.Errorf("dynamic: half extent must be positive and finite, got %g", cfg.HalfExtent)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "dynamic"
+	}
+	if err := validFinite(R, "R"); err != nil {
+		return nil, err
+	}
+	if err := validFinite(S, "S"); err != nil {
+		return nil, err
+	}
+	st := &Store{cfg: cfg}
+	v := &view{
+		gen:     0,
+		baseR:   R,
+		baseS:   S,
+		baseIDR: idSet(R),
+		baseIDS: idSet(S),
+	}
+	if err := st.buildBaseInto(v); err != nil {
+		return nil, err
+	}
+	if err := st.finishView(v); err != nil {
+		return nil, err
+	}
+	st.view.Store(v)
+	return st, nil
+}
+
+// idSet collects the IDs of one side.
+func idSet(pts []geom.Point) map[int32]struct{} {
+	out := make(map[int32]struct{}, len(pts))
+	for _, p := range pts {
+		out[p.ID] = struct{}{}
+	}
+	return out
+}
+
+// deltaCfg is the configuration of the delta samplers.
+func (st *Store) deltaCfg() core.Config {
+	return core.Config{
+		HalfExtent: st.cfg.HalfExtent,
+		Seed:       st.cfg.Seed,
+		MaxRejects: st.cfg.MaxRejects,
+	}
+}
+
+// buildBaseInto bulk-builds the base sampler for the view's base
+// sides and prepares it through Count. An empty base join (including
+// an empty side) leaves v.base nil — not an error for a mutable
+// store, which may become non-empty through Apply.
+func (st *Store) buildBaseInto(v *view) error {
+	v.base, v.baseMass = nil, 0
+	v.donorS = nil
+	if len(v.baseS) > 0 {
+		// The donor's kd-tree over baseS is built lazily, on the first
+		// applied batch that inserts R points; until then it costs a
+		// struct.
+		donor, err := core.NewKDS(nil, v.baseS, st.deltaCfg())
+		if err != nil {
+			return err
+		}
+		v.donorS = donor
+	}
+	if len(v.baseR) == 0 || len(v.baseS) == 0 {
+		return nil
+	}
+	base, err := st.cfg.BuildBase(v.baseR, v.baseS)
+	if err != nil {
+		if errors.Is(err, core.ErrEmptyJoin) {
+			return nil
+		}
+		return err
+	}
+	if _, ok := base.(core.Trial); !ok {
+		return fmt.Errorf("dynamic: %s does not support per-trial sampling (core.Trial)", base.Name())
+	}
+	if err := base.Count(); err != nil {
+		if errors.Is(err, core.ErrEmptyJoin) {
+			return nil
+		}
+		return err
+	}
+	v.base = base
+	v.baseMass = base.Stats().MuSum
+	return nil
+}
+
+// buildComponents assembles the view's mixture components in a fixed
+// order — base, base×insS, insR×base, insR×insS — so replicas built
+// from the same op sequence are byte-identical.
+func (st *Store) buildComponents(v *view) ([]component, error) {
+	dcfg := st.deltaCfg()
+	var comps []component
+	addKDS := func(k *core.KDS, rejR, rejS map[int32]struct{}) error {
+		err := k.Count()
+		if errors.Is(err, core.ErrEmptyJoin) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		comps = append(comps, component{
+			trial:  k,
+			shared: &componentShared{mass: k.Stats().MuSum, rejR: rejR, rejS: rejS},
+		})
+		return nil
+	}
+	if v.base != nil {
+		// Each view gets its own clone of the base as its mixture
+		// component: consecutive views share v.base, and a view's
+		// clone pool advances its parent's stream on every pooled
+		// clone — two views cloning one shared parent would race.
+		// Cloning here happens under st.mu (every view is built there),
+		// so the shared original is only ever cloned serialized.
+		bb, err := v.base.Clone()
+		if err != nil {
+			return nil, err
+		}
+		trial, ok := bb.(core.Trial)
+		if !ok {
+			return nil, fmt.Errorf("dynamic: %s clone does not support trials", v.base.Name())
+		}
+		comps = append(comps, component{
+			trial: trial,
+			shared: &componentShared{
+				mass: v.baseMass,
+				rejR: nilIfEmpty(v.delR),
+				rejS: nilIfEmpty(v.delS),
+			},
+		})
+	}
+	if len(v.baseR) > 0 && len(v.insS) > 0 {
+		k, err := core.NewKDS(v.baseR, v.insS, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := addKDS(k, nilIfEmpty(v.delR), nil); err != nil {
+			return nil, err
+		}
+	}
+	if len(v.insR) > 0 && v.donorS != nil {
+		k, err := core.NewKDSWith(v.insR, v.donorS, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := addKDS(k, nil, nilIfEmpty(v.delS)); err != nil {
+			return nil, err
+		}
+	}
+	if len(v.insR) > 0 && len(v.insS) > 0 {
+		k, err := core.NewKDS(v.insR, v.insS, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := addKDS(k, nil, nil); err != nil {
+			return nil, err
+		}
+	}
+	return comps, nil
+}
+
+func nilIfEmpty(m map[int32]struct{}) map[int32]struct{} {
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+// finishView builds the view's mixture and serving engine. An empty
+// current join leaves v.eng nil; Draw answers core.ErrEmptyJoin until
+// an Apply makes the join non-empty again.
+func (st *Store) finishView(v *view) error {
+	comps, err := st.buildComponents(v)
+	if err != nil {
+		return err
+	}
+	o, err := newOverlay(st.cfg.Name, st.cfg.maxRejects(), st.cfg.Seed, comps)
+	if err != nil {
+		if errors.Is(err, core.ErrEmptyJoin) {
+			v.eng = nil
+			v.est = nil
+			v.overlaySize = 0
+			return nil
+		}
+		return err
+	}
+	est, err := o.Clone()
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New(o, st.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if st.cfg.MaxT > 0 {
+		eng.SetMaxT(st.cfg.MaxT)
+	}
+	v.eng = eng
+	v.est = est
+	v.overlaySize = o.SizeBytes()
+	return nil
+}
+
+// Apply absorbs one batch of mutations and returns the new
+// generation. Batches serialize; draws in flight keep serving the
+// view they started on. An empty update returns the current
+// generation without bumping it (the remote tiers use this as a
+// generation probe). Crossing the rebuild threshold schedules a
+// background base rebuild; Apply itself stays O(base count) in the
+// worst case (delta re-counting), never a bulk build.
+func (st *Store) Apply(ctx context.Context, u Update) (uint64, error) {
+	if err := u.Validate(); err != nil {
+		return 0, err
+	}
+	if u.Empty() {
+		return st.Generation(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.view.Load()
+	nv := &view{
+		gen:      cur.gen + 1,
+		baseR:    cur.baseR,
+		baseS:    cur.baseS,
+		baseIDR:  cur.baseIDR,
+		baseIDS:  cur.baseIDS,
+		base:     cur.base,
+		baseMass: cur.baseMass,
+		donorS:   cur.donorS,
+	}
+	nv.insR, nv.delR = applyOps(cur.insR, cur.delR, cur.baseIDR, u.InsertR, u.DeleteR)
+	nv.insS, nv.delS = applyOps(cur.insS, cur.delS, cur.baseIDS, u.InsertS, u.DeleteS)
+	if err := st.finishView(nv); err != nil {
+		return 0, err
+	}
+	st.log = append(st.log, u)
+	st.swapLocked(nv)
+	st.maybeRebuildLocked(nv)
+	return nv.gen, nil
+}
+
+// applyOps derives one side's new insert buffer and tombstone set
+// (copy-on-write: the previous view's are never mutated). Deletes
+// drop every buffered copy of the ID and tombstone the base copy when
+// one exists; inserts append.
+func applyOps(ins []geom.Point, del, baseIDs map[int32]struct{}, add []geom.Point, remove []int32) ([]geom.Point, map[int32]struct{}) {
+	nIns := make([]geom.Point, len(ins), len(ins)+len(add))
+	copy(nIns, ins)
+	nDel := del
+	copied := false
+	for _, id := range remove {
+		kept := nIns[:0]
+		for _, p := range nIns {
+			if p.ID != id {
+				kept = append(kept, p)
+			}
+		}
+		nIns = kept
+		if _, inBase := baseIDs[id]; inBase {
+			if !copied {
+				m := make(map[int32]struct{}, len(nDel)+1)
+				for k := range nDel {
+					m[k] = struct{}{}
+				}
+				nDel = m
+				copied = true
+			}
+			nDel[id] = struct{}{}
+		}
+	}
+	nIns = append(nIns, add...)
+	return nIns, nDel
+}
+
+// swapLocked publishes a new view, folding the retired engine's
+// counters into the store accumulator. Called with mu held.
+func (st *Store) swapLocked(nv *view) {
+	if old := st.view.Load(); old != nil && old.eng != nil {
+		st.acc = addStats(st.acc, old.eng.Stats())
+	}
+	st.view.Store(nv)
+	if st.testHookSwap != nil {
+		st.testHookSwap(nv)
+	}
+	if st.cfg.OnGeneration != nil {
+		st.cfg.OnGeneration(nv.gen)
+	}
+}
+
+// addStats sums two engine counter snapshots.
+func addStats(a, b engine.Stats) engine.Stats {
+	a.Requests += b.Requests
+	a.Samples += b.Samples
+	a.Failures += b.Failures
+	a.ClientFailures += b.ClientFailures
+	a.SamplerFailures += b.SamplerFailures
+	a.TotalLatency += b.TotalLatency
+	if b.MaxLatency > a.MaxLatency {
+		a.MaxLatency = b.MaxLatency
+	}
+	return a
+}
+
+// maybeRebuildLocked schedules a background base rebuild when the
+// delta fraction crosses the threshold. Called with mu held.
+func (st *Store) maybeRebuildLocked(v *view) {
+	if st.rebuilding || st.cfg.DisableAutoRebuild {
+		return
+	}
+	delta := v.deltaOps()
+	if delta == 0 {
+		return
+	}
+	baseN := len(v.baseR) + len(v.baseS)
+	if float64(delta) < st.cfg.rebuildFraction()*float64(baseN) {
+		return
+	}
+	st.startRebuildLocked(v)
+}
+
+// startRebuildLocked launches the background rebuild goroutine over
+// the given view. Called with mu held and st.rebuilding false.
+func (st *Store) startRebuildLocked(v *view) {
+	st.rebuilding = true
+	st.rebuildDone = make(chan struct{})
+	go st.rebuild(v, len(st.log), st.rebuildDone)
+}
+
+// rebuild is the background compaction: materialize the current point
+// sets from the snapshot view, bulk-build a fresh base outside the
+// lock, then — under the lock — replay the updates that arrived while
+// building into fresh deltas over the new base and swap the result in
+// at a bumped generation.
+func (st *Store) rebuild(v *view, snap int, done chan struct{}) {
+	defer close(done)
+	R := materialize(v.baseR, v.delR, v.insR)
+	S := materialize(v.baseS, v.delS, v.insS)
+	nv := &view{
+		baseR:   R,
+		baseS:   S,
+		baseIDR: idSet(R),
+		baseIDS: idSet(S),
+	}
+	buildErr := st.buildBaseInto(nv) // the expensive bulk build, outside mu
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.rebuilding = false
+	if buildErr != nil {
+		st.lastRebuildErr = buildErr
+		return
+	}
+	cur := st.view.Load()
+	nv.gen = cur.gen + 1
+	pending := st.log[snap:]
+	for _, u := range pending {
+		nv.insR, nv.delR = applyOps(nv.insR, nv.delR, nv.baseIDR, u.InsertR, u.DeleteR)
+		nv.insS, nv.delS = applyOps(nv.insS, nv.delS, nv.baseIDS, u.InsertS, u.DeleteS)
+	}
+	if err := st.finishView(nv); err != nil {
+		st.lastRebuildErr = err
+		return
+	}
+	st.lastRebuildErr = nil
+	st.log = append([]Update(nil), pending...)
+	st.swapLocked(nv)
+	// The pending tail can itself exceed the threshold under heavy
+	// write load; check once so compaction keeps up.
+	st.maybeRebuildLocked(nv)
+}
+
+// materialize flattens one side: base minus tombstones plus inserts.
+func materialize(base []geom.Point, del map[int32]struct{}, ins []geom.Point) []geom.Point {
+	out := make([]geom.Point, 0, len(base)+len(ins))
+	for _, p := range base {
+		if _, dead := del[p.ID]; !dead {
+			out = append(out, p)
+		}
+	}
+	return append(out, ins...)
+}
+
+// Compact forces a base rebuild now (folding every buffered insert
+// and tombstone into a fresh bulk build) and waits for the swap. A
+// rebuild already in flight is waited for instead of doubled. It
+// returns nil when there is nothing to compact.
+func (st *Store) Compact(ctx context.Context) error {
+	st.mu.Lock()
+	if !st.rebuilding {
+		v := st.view.Load()
+		if v.deltaOps() == 0 {
+			st.mu.Unlock()
+			return nil
+		}
+		st.startRebuildLocked(v)
+	}
+	done := st.rebuildDone
+	st.mu.Unlock()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastRebuildErr
+}
+
+// SetOnGeneration installs (or replaces) the Config.OnGeneration
+// hook. Callers that build stores through an intermediate layer (the
+// root package's NewStore) use it to attach cache invalidation after
+// construction — before the store is published for serving, or the
+// earliest swaps may miss the hook.
+func (st *Store) SetOnGeneration(fn func(gen uint64)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.cfg.OnGeneration = fn
+}
+
+// Generation reports the current generation: 0 at construction,
+// bumped by every non-empty Apply and every completed rebuild swap.
+func (st *Store) Generation() uint64 { return st.view.Load().gen }
+
+// ViewEngine returns the current generation and its serving engine.
+// The error is core.ErrEmptyJoin when the current join is empty. The
+// registry's BuildFunc uses the pair to cache view engines under
+// generation-tagged keys.
+func (st *Store) ViewEngine() (uint64, *engine.Engine, error) {
+	v := st.view.Load()
+	if v.eng == nil {
+		return v.gen, nil, core.ErrEmptyJoin
+	}
+	return v.gen, v.eng, nil
+}
+
+// Draw serves one request against the current view (the srj.Source
+// contract, like engine.Engine.Draw). On an empty join the request is
+// still validated and capped first, then core.ErrEmptyJoin surfaces.
+func (st *Store) Draw(ctx context.Context, req engine.Request) (engine.Result, error) {
+	v := st.view.Load()
+	if v.eng == nil {
+		return engine.Result{}, st.emptyErr(req, false)
+	}
+	return v.eng.Draw(ctx, req)
+}
+
+// DrawFunc serves one request against the current view, streaming
+// batches to fn (the srj.Source contract).
+func (st *Store) DrawFunc(ctx context.Context, req engine.Request, fn func(batch []geom.Pair) error) error {
+	v := st.view.Load()
+	if v.eng == nil {
+		return st.emptyErr(req, true)
+	}
+	return v.eng.DrawFunc(ctx, req, fn)
+}
+
+// emptyErr orders an empty store's refusals like a serving engine
+// would: malformed requests first, the cap second, ErrEmptyJoin last.
+func (st *Store) emptyErr(req engine.Request, stream bool) error {
+	var t int
+	var err error
+	if stream {
+		t, err = req.ResolveStream()
+	} else {
+		t, err = req.Resolve()
+	}
+	if err != nil {
+		return err
+	}
+	if st.cfg.MaxT > 0 && t > st.cfg.MaxT {
+		return fmt.Errorf("%w: t=%d > cap %d", engine.ErrSampleCap, t, st.cfg.MaxT)
+	}
+	return core.ErrEmptyJoin
+}
+
+// Stats aggregates the serving counters across every view the store
+// has published. Under concurrent generation swaps the snapshot is
+// approximate: requests finishing on a just-retired view after its
+// counters were folded go uncounted.
+func (st *Store) Stats() engine.Stats {
+	st.mu.Lock()
+	acc := st.acc
+	st.mu.Unlock()
+	if v := st.view.Load(); v != nil && v.eng != nil {
+		acc = addStats(acc, v.eng.Stats())
+	}
+	return acc
+}
+
+// SizeBytes estimates the retained footprint of the current view:
+// mixture structures, point buffers, and tombstone sets. During a
+// rebuild the transient next base is not counted.
+func (st *Store) SizeBytes() int {
+	v := st.view.Load()
+	total := v.overlaySize
+	total += 24 * (len(v.baseR) + len(v.baseS) + len(v.insR) + len(v.insS))
+	total += 16 * (len(v.delR) + len(v.delS))
+	return total
+}
+
+// Pending reports the buffered mutation count of the current view —
+// the numerator of the rebuild threshold.
+func (st *Store) Pending() int { return st.view.Load().deltaOps() }
+
+// LastRebuildErr reports the most recent background rebuild failure
+// (nil after a successful swap). Rebuild failures never tear down
+// serving — the previous view keeps answering.
+func (st *Store) LastRebuildErr() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastRebuildErr
+}
+
+// EstimateJoinSize draws `samples` calibration samples through the
+// current view's estimator clone and returns the acceptance-rate
+// estimate of the live join size (exact-counting components make it
+// exact up to the base algorithm's bound). The estimator accumulates
+// across calls, so repeated estimates tighten. An empty join
+// estimates 0 with no error.
+func (st *Store) EstimateJoinSize(samples int) (float64, error) {
+	v := st.view.Load()
+	if v.eng == nil || v.est == nil {
+		return 0, nil
+	}
+	v.estMu.Lock()
+	defer v.estMu.Unlock()
+	buf := make([]geom.Pair, 1024)
+	var err error
+	for drawn := 0; drawn < samples && err == nil; {
+		chunk := buf
+		if rem := samples - drawn; rem < len(chunk) {
+			chunk = chunk[:rem]
+		}
+		var n int
+		n, err = core.SampleInto(v.est, chunk)
+		drawn += n
+	}
+	return aggregate.JoinSizeEstimate(v.est.Stats()), err
+}
+
+// quiesce waits for an in-flight background rebuild (tests and
+// shutdown paths); it does not prevent new ones.
+func (st *Store) quiesce(ctx context.Context) error {
+	st.mu.Lock()
+	done := st.rebuildDone
+	rebuilding := st.rebuilding
+	st.mu.Unlock()
+	if !rebuilding {
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Quiesce waits for any in-flight background rebuild to finish —
+// benchmarks and tests use it so goroutine-leak checks and timing
+// sections see a settled store.
+func (st *Store) Quiesce(ctx context.Context) error { return st.quiesce(ctx) }

@@ -1,0 +1,122 @@
+package dynamic
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/registry"
+)
+
+// StoreFactory builds the store for one engine key (generation
+// ignored): resolve the dataset, bulk-build the base, return the
+// store. Invoked at most once per key per residency, outside the
+// Stores map lock (builds are slow). Key problems should wrap
+// server.ErrBadKey so handlers answer 400.
+type StoreFactory func(ctx context.Context, key registry.Key) (*Store, error)
+
+// Stores tracks the mutable stores of one serving process, keyed by
+// engine key with the generation stripped (a store IS the thing that
+// owns the generation). A store springs into existence on the first
+// update addressed to its key; sampling for keys without a store
+// keeps using the static engine path, so a server that never sees an
+// update serves exactly as before this package existed.
+type Stores struct {
+	factory StoreFactory
+
+	mu sync.Mutex
+	m  map[registry.Key]*storeEntry
+}
+
+// storeEntry coalesces concurrent creations of one key onto a single
+// factory call, and publishes the store non-blockingly for the
+// sampling path. err is written before done closes; waiters read it
+// only after <-done.
+type storeEntry struct {
+	done chan struct{}
+	err  error
+	st   atomic.Pointer[Store]
+}
+
+// NewStores returns a store registry building cold keys with factory.
+func NewStores(factory StoreFactory) *Stores {
+	if factory == nil {
+		panic("dynamic: nil StoreFactory")
+	}
+	return &Stores{factory: factory, m: make(map[registry.Key]*storeEntry)}
+}
+
+// stripGen zeroes the generation: stores are keyed by what they
+// serve, not by a moment of their history.
+func stripGen(key registry.Key) registry.Key {
+	key.Generation = 0
+	return key
+}
+
+// Lookup returns the store for key when one has been created. It
+// never blocks — a store mid-creation is not yet visible, so the
+// sampling path stays on the static engines until the first update
+// lands.
+func (s *Stores) Lookup(key registry.Key) (*Store, bool) {
+	s.mu.Lock()
+	e, ok := s.m[stripGen(key)]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	st := e.st.Load()
+	return st, st != nil
+}
+
+// get returns key's store, creating it through the factory on first
+// use. The factory runs in its own goroutine on a context detached
+// from the caller that happened to trigger it — like the registry's
+// builds, ctx cancels the *wait*, never a bulk build other callers
+// (and the map) will share. Failed creations are forgotten so the
+// next update retries.
+func (s *Stores) get(ctx context.Context, key registry.Key) (*Store, error) {
+	key = stripGen(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if !ok {
+		e = &storeEntry{done: make(chan struct{})}
+		s.m[key] = e
+		buildCtx := context.WithoutCancel(ctx)
+		go func() {
+			st, err := s.factory(buildCtx, key)
+			if err != nil {
+				e.err = err
+			} else {
+				e.st.Store(st)
+			}
+			close(e.done)
+			if err != nil {
+				s.mu.Lock()
+				if s.m[key] == e {
+					delete(s.m, key)
+				}
+				s.mu.Unlock()
+			}
+		}()
+	}
+	s.mu.Unlock()
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.st.Load(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Apply routes one update batch to key's store, creating the store on
+// first use, and returns the new generation.
+func (s *Stores) Apply(ctx context.Context, key registry.Key, u Update) (uint64, error) {
+	st, err := s.get(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	return st.Apply(ctx, u)
+}

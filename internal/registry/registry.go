@@ -39,19 +39,37 @@ import (
 )
 
 // Key identifies one cacheable engine: the named dataset pair, the
-// window half-extent l, the sampling algorithm, and the engine seed.
-// Two requests with equal Keys are served by the same structures.
+// window half-extent l, the sampling algorithm, and the engine seed —
+// plus, for mutable datasets, the dataset *generation* the engine was
+// built at. Two requests with equal Keys are served by the same
+// structures. Static datasets stay at generation 0 forever; a dynamic
+// store bumps its generation on every applied update, so an engine
+// cached for an older generation simply misses — it can never serve
+// deleted points to a request that looked up the current generation.
 type Key struct {
-	Dataset   string  `json:"dataset"`
-	L         float64 `json:"l"`
-	Algorithm string  `json:"algorithm"`
-	Seed      uint64  `json:"seed"`
+	Dataset    string  `json:"dataset"`
+	L          float64 `json:"l"`
+	Algorithm  string  `json:"algorithm"`
+	Seed       uint64  `json:"seed"`
+	Generation uint64  `json:"generation,omitempty"`
 }
 
 // String renders the key the way srjserver's logs and -warm flag
-// spell it: dataset:l:algorithm:seed.
+// spell it: dataset:l:algorithm:seed, with an @generation suffix for
+// engines of a mutated dataset (generation 0 — every static engine —
+// keeps the historical spelling).
 func (k Key) String() string {
+	if k.Generation != 0 {
+		return fmt.Sprintf("%s:%g:%s:%d@%d", k.Dataset, k.L, k.Algorithm, k.Seed, k.Generation)
+	}
 	return fmt.Sprintf("%s:%g:%s:%d", k.Dataset, k.L, k.Algorithm, k.Seed)
+}
+
+// sameSansGeneration reports whether the keys agree on every field
+// but the generation.
+func (k Key) sameSansGeneration(o Key) bool {
+	k.Generation, o.Generation = 0, 0
+	return k == o
 }
 
 // validate rejects keys the map bookkeeping cannot track. Builders
@@ -297,6 +315,30 @@ func (r *Registry) Evict(key Key) bool {
 	r.bytes -= e.size
 	r.manualEvictions++
 	return true
+}
+
+// EvictOlder removes every resident engine that matches key on all
+// fields except the generation and carries a generation strictly
+// below key.Generation, reporting how many were dropped. Two callers
+// exist: the update path drops the engines a generation bump just
+// made stale (pass the new generation), and DELETE /v1/engines drops
+// every generation of a key (pass math.MaxUint64). Requests already
+// holding a dropped engine are unaffected, exactly as with Evict.
+func (r *Registry) EvictOlder(key Key) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for k, e := range r.entries {
+		if k.Generation >= key.Generation || !k.sameSansGeneration(key) {
+			continue
+		}
+		r.lru.Remove(e.elem)
+		delete(r.entries, k)
+		r.bytes -= e.size
+		r.manualEvictions++
+		n++
+	}
+	return n
 }
 
 // Stats snapshots the aggregate counters.

@@ -494,4 +494,65 @@ func TestKeyString(t *testing.T) {
 	if got := k.String(); got != "nyc:100.5:bbst:7" {
 		t.Fatalf("String = %q", got)
 	}
+	k.Generation = 3
+	if got := k.String(); got != "nyc:100.5:bbst:7@3" {
+		t.Fatalf("generation String = %q", got)
+	}
+}
+
+// TestRegistryGenerationsAndEvictOlder: generation-tagged keys are
+// distinct cache entries, and EvictOlder drops exactly the stale
+// generations of one key — never its current generation, never other
+// keys.
+func TestRegistryGenerationsAndEvictOlder(t *testing.T) {
+	build, builds := testBuild(200, 0)
+	r := New(build, 0)
+	ctx := context.Background()
+	base := Key{Dataset: "dyn", L: 100, Algorithm: "bbst", Seed: 1}
+	other := Key{Dataset: "static", L: 100, Algorithm: "bbst", Seed: 1}
+	for gen := uint64(0); gen <= 3; gen++ {
+		k := base
+		k.Generation = gen
+		if _, err := r.Get(ctx, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Get(ctx, other); err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 5 {
+		t.Fatalf("generations did not miss independently: %d builds", n)
+	}
+
+	cur := base
+	cur.Generation = 3
+	if n := r.EvictOlder(cur); n != 3 {
+		t.Fatalf("EvictOlder dropped %d entries, want 3 (gens 0-2)", n)
+	}
+	st := r.Stats()
+	if st.Entries != 2 || st.ManualEvictions != 3 {
+		t.Fatalf("after EvictOlder: %+v", st)
+	}
+	// The current generation and the unrelated key survived: both are
+	// hits, not rebuilds.
+	before := builds.Load()
+	if _, err := r.Get(ctx, cur); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(ctx, other); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != before {
+		t.Fatal("EvictOlder dropped a live entry")
+	}
+	// The evict-everything spelling (MaxUint64) clears the key's
+	// whole history and leaves the other key alone.
+	all := base
+	all.Generation = ^uint64(0)
+	if n := r.EvictOlder(all); n != 1 {
+		t.Fatalf("evict-all dropped %d, want 1", n)
+	}
+	if st := r.Stats(); st.Entries != 1 {
+		t.Fatalf("after evict-all: %+v", st)
+	}
 }

@@ -12,6 +12,7 @@ package router
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"time"
 
@@ -31,6 +32,9 @@ const writeDeadline = 30 * time.Second
 //
 //	POST   /v1/sample  — routed draw; JSON or the framed binary
 //	                     stream, wire-compatible with srjserver
+//	POST   /v1/update  — broadcast insert/delete batch (JSON or the
+//	                     framed binary encoding); answers with the
+//	                     fleet's new dataset generation
 //	GET    /v1/stats   — aggregate fleet stats in srjserver's
 //	                     StatsResponse shape (registry counters
 //	                     summed, engines concatenated)
@@ -49,6 +53,7 @@ const writeDeadline = 30 * time.Second
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sample", r.handleSample)
+	mux.HandleFunc("POST /v1/update", r.handleUpdate)
 	mux.HandleFunc("GET /v1/stats", r.handleStats)
 	mux.HandleFunc("GET /v1/engines", r.handleEngines)
 	mux.HandleFunc("DELETE /v1/engines", r.handleEvict)
@@ -134,6 +139,33 @@ func (r *Router) streamBinary(req *http.Request, w http.ResponseWriter, bound *B
 	default:
 		server.WriteStreamEnd(w)
 	}
+}
+
+// handleUpdate broadcasts one mutation batch across the fleet — the
+// body and response are exactly srjserver's POST /v1/update. A
+// partial broadcast is an error: unlike eviction, an update a shard
+// missed leaves that shard serving deleted points, so the client must
+// know.
+func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request) {
+	ureq, ok := server.DecodeUpdateRequest(w, req, 0)
+	if !ok {
+		return
+	}
+	gen, err := r.ApplyUpdate(req.Context(), ureq.Key(), ureq.Ops())
+	if err != nil {
+		var apiErr *server.APIError
+		if errors.As(err, &apiErr) {
+			// A backend understood the update and refused it — relay
+			// its answer unchanged, like the sampling proxy does.
+			server.WriteError(w, apiErr.Status, apiErr.Code, "%s", apiErr.Message)
+			return
+		}
+		server.WriteError(w, http.StatusBadGateway, server.CodeInternal,
+			"updating %s (fleet at generation %d): %v", ureq.Key(), gen, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(server.UpdateResponse{Generation: gen, Ops: ureq.Ops().Ops()})
 }
 
 // handleStats aggregates the fleet into srjserver's StatsResponse

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/registry"
@@ -245,9 +246,7 @@ func (r *Router) Locate(key registry.Key) string {
 // Client.Bind and the server's SampleRequest.Key, so the ring and the
 // backends agree on what key a request addresses.
 func normalizeKey(key registry.Key) registry.Key {
-	if key.Algorithm == "" {
-		key.Algorithm = "bbst"
-	}
+	key.Algorithm = server.NormalizeAlgorithm(key.Algorithm)
 	return key
 }
 
@@ -548,6 +547,66 @@ func (r *Router) EvictEngine(ctx context.Context, key registry.Key) (evicted boo
 		}
 	}
 	return evicted, err
+}
+
+// ApplyUpdate broadcasts one insert/delete batch for key to every
+// backend (concurrently, reusing the EvictEngine fan-out) and returns
+// the highest generation any backend reports. It broadcasts rather
+// than routing for the same reason eviction does — failover means any
+// ring successor may be serving the key, and a shard whose store
+// missed an update would serve deleted points after the next
+// failover — plus one more: the key's sibling keys (same dataset,
+// different l) live on other shards, and a replicated update stream
+// keeps every shard's store serving the same point sets.
+//
+// Ordering is the caller's: the router does not sequence concurrent
+// updaters, so two ApplyUpdates racing from different clients may
+// reach the backends in different orders — if both touch the same
+// point ID, the shards' live sets can diverge until a later update
+// or operator intervention reconciles them. A single writer per
+// dataset (or batches over disjoint IDs, which commute) keeps the
+// shards exact replicas; fleet-wide update sequencing is a ROADMAP
+// follow-on. err reports backends that could not apply; gen
+// alongside a non-nil err means the fleet is split across
+// generations until the backend recovers and re-converges through
+// its own update stream.
+func (r *Router) ApplyUpdate(ctx context.Context, key registry.Key, u dynamic.Update) (gen uint64, err error) {
+	key = normalizeKey(key)
+	ureq := server.UpdateRequest{
+		Dataset:   key.Dataset,
+		L:         key.L,
+		Algorithm: key.Algorithm,
+		Seed:      key.Seed,
+		InsertR:   u.InsertR,
+		InsertS:   u.InsertS,
+		DeleteR:   u.DeleteR,
+		DeleteS:   u.DeleteS,
+	}
+	gens := make([]uint64, len(r.backends))
+	errs := r.broadcast(func(i int, b *backend) error {
+		resp, err := b.client.ApplyUpdate(ctx, ureq)
+		gens[i] = resp.Generation
+		return err
+	})
+	for i := range r.backends {
+		if errs[i] != nil {
+			if err == nil {
+				err = fmt.Errorf("router: updating on %s: %w", r.backends[i].addr, errs[i])
+			}
+			continue
+		}
+		if gens[i] > gen {
+			gen = gens[i]
+		}
+	}
+	return gen, err
+}
+
+// Apply serves the bound key's update path (the srjtest.Updatable
+// contract): the batch broadcasts to every shard and the new
+// generation comes back.
+func (b *Bound) Apply(ctx context.Context, u dynamic.Update) (uint64, error) {
+	return b.r.ApplyUpdate(ctx, b.key, u)
 }
 
 // ServerStats fetches /v1/stats from every backend concurrently,

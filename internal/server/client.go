@@ -184,6 +184,46 @@ func (c *Client) SampleJSON(ctx context.Context, req SampleRequest) ([]geom.Pair
 	return body.Pairs, nil
 }
 
+// ApplyUpdate posts one insert/delete batch to the server's dynamic
+// store for the request's key and returns the server's answer — most
+// importantly the new dataset generation. The framed binary request
+// encoding is used unless req.Format is "json"; bulk ingest belongs
+// on binary (20 bytes per point). An empty batch is a generation
+// probe: the server answers with the current generation without
+// bumping it.
+func (c *Client) ApplyUpdate(ctx context.Context, req UpdateRequest) (UpdateResponse, error) {
+	var out UpdateResponse
+	var body bytes.Buffer
+	contentType := "application/json"
+	if req.Format == "json" {
+		if err := json.NewEncoder(&body).Encode(req); err != nil {
+			return out, err
+		}
+	} else {
+		contentType = ContentTypeUpdate
+		if err := EncodeUpdateRequest(&body, req); err != nil {
+			return out, err
+		}
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/update", &body)
+	if err != nil {
+		return out, err
+	}
+	hr.Header.Set("Content-Type", contentType)
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("server: decoding update response: %w", err)
+	}
+	return out, nil
+}
+
 // getJSON fetches path and decodes the JSON body into out.
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)

@@ -8,6 +8,10 @@
 //	POST   /v1/sample  — draw t samples for a key; JSON or a framed
 //	                     binary encoding (see wire.go) streamed in
 //	                     Engine.SampleFunc chunks
+//	POST   /v1/update  — apply an insert/delete batch to a key's
+//	                     dynamic store (JSON or the framed binary
+//	                     encoding of update_wire.go) and answer with
+//	                     the bumped dataset generation
 //	GET    /v1/stats   — registry + per-engine serving counters
 //	GET    /v1/engines — the resident engines, most recently used first
 //	DELETE /v1/engines — evict one engine by key (tools that insert
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/registry"
@@ -61,6 +66,10 @@ const (
 type Config struct {
 	// Registry resolves keys to engines. Required.
 	Registry *registry.Registry
+	// Stores resolves keys to dynamic stores for POST /v1/update and
+	// generation-aware sampling. nil disables updates (POST
+	// /v1/update answers 501) and serves every dataset statically.
+	Stores *dynamic.Stores
 	// MaxT caps the samples one request may ask for (default
 	// DefaultMaxT). Binary responses stream in constant memory, so
 	// this cap is about sampling work, not response size.
@@ -71,6 +80,9 @@ type Config struct {
 	// concurrent load that multiplies per in-flight request, so keep
 	// it small and push bulk traffic to the binary transport.
 	MaxTJSON int
+	// MaxUpdateOps caps the operations one update request may carry
+	// (default DefaultMaxUpdateOps).
+	MaxUpdateOps int
 	// Timeout bounds one request end to end, engine build included
 	// (default DefaultTimeout).
 	Timeout time.Duration
@@ -103,6 +115,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/sample", s.handleSample)
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	s.mux.HandleFunc("DELETE /v1/engines", s.handleEvict)
@@ -145,13 +158,24 @@ type SampleRequest struct {
 	Format string `json:"format,omitempty"`
 }
 
+// DefaultAlgorithm is the fleet-wide default algorithm name an empty
+// Algorithm field resolves to — the single definition every tier's
+// key normalization shares (SampleRequest.Key, UpdateRequest.Key,
+// the router's ring, srj.Server.Apply), so the sample and update
+// paths can never address different keys for the same request.
+const DefaultAlgorithm = "bbst"
+
+// NormalizeAlgorithm applies the fleet-wide default algorithm name.
+func NormalizeAlgorithm(a string) string {
+	if a == "" {
+		return DefaultAlgorithm
+	}
+	return a
+}
+
 // Key returns the registry key the request addresses.
 func (q SampleRequest) Key() registry.Key {
-	algo := q.Algorithm
-	if algo == "" {
-		algo = "bbst"
-	}
-	return registry.Key{Dataset: q.Dataset, L: q.L, Algorithm: algo, Seed: q.Seed}
+	return registry.Key{Dataset: q.Dataset, L: q.L, Algorithm: NormalizeAlgorithm(q.Algorithm), Seed: q.Seed}
 }
 
 // SampleResponse is the JSON body of a successful /v1/sample.
@@ -314,7 +338,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	eng, err := s.cfg.Registry.Get(ctx, req.Key())
+	eng, err := s.resolveEngine(ctx, req)
 	if err != nil {
 		WriteError(w, StatusFor(err), CodeFor(err), "building engine %s: %v", req.Key(), err)
 		return
@@ -404,16 +428,23 @@ type EvictResponse struct {
 	Evicted bool `json:"evicted"` // false when no engine was resident
 }
 
-// handleEvict drops one resident engine. The body is a registry key:
-// {"dataset":..., "l":..., "algorithm":..., "seed":...}; the default
-// algorithm rule of SampleRequest applies.
+// handleEvict drops one key's resident engines — every generation of
+// it, so a mutated dataset's history of view engines goes with the
+// static entry. The body is a registry key: {"dataset":..., "l":...,
+// "algorithm":..., "seed":...}; the default algorithm rule of
+// SampleRequest applies.
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	req, ok := DecodeEvictRequest(w, r)
 	if !ok {
 		return
 	}
+	// Generation MaxUint64 matches every real generation, the plain
+	// gen-0 static entry included — one call evicts the key's whole
+	// history.
+	all := req.Key()
+	all.Generation = ^uint64(0)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(EvictResponse{Evicted: s.cfg.Registry.Evict(req.Key())})
+	json.NewEncoder(w).Encode(EvictResponse{Evicted: s.cfg.Registry.EvictOlder(all) > 0})
 }
 
 // DecodeEvictRequest decodes and validates a DELETE /v1/engines body

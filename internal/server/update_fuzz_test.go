@@ -1,0 +1,84 @@
+package server
+
+// Fuzzing the update decoder — both transports. DecodeUpdateBody
+// consumes bytes straight off the network, and the JSON form goes
+// through encoding/json into the same struct; /v1/update is a write
+// path, so a crash here is worse than one on the read path. Three
+// properties against arbitrary input: never panic, never accept more
+// operations than the cap, and every accepted binary body must
+// re-encode and re-decode to the same request (the encoding is
+// canonical for what the decoder accepts).
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// encodeUpdate builds a valid binary body for the seed corpus.
+func encodeUpdate(t testing.TB, req UpdateRequest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeUpdateRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzDecodeUpdate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not an update at all"))
+	f.Add([]byte(`{"dataset":"tiny","l":3,"insert_r":[{"X":1,"Y":2,"ID":7}],"delete_s":[9]}`))
+	f.Add(encodeUpdate(f, UpdateRequest{Dataset: "d", L: 1}))
+	f.Add(encodeUpdate(f, UpdateRequest{
+		Dataset:   "tiny",
+		L:         3.5,
+		Algorithm: "bbst",
+		Seed:      9,
+		InsertR:   []geom.Point{{ID: 1, X: 2, Y: 3}, {ID: -4, X: -1e300, Y: 0.5}},
+		InsertS:   []geom.Point{{ID: 2, X: 4, Y: 6}},
+		DeleteR:   []int32{5, -6},
+		DeleteS:   []int32{7},
+	}))
+	{
+		valid := encodeUpdate(f, UpdateRequest{Dataset: "x", L: 2, DeleteR: []int32{1, 2, 3}})
+		f.Add(valid[:len(valid)-1]) // missing end tag
+		f.Add(valid[:7])            // truncated key
+		bad := append([]byte{}, valid...)
+		bad[4] = 99 // future version
+		f.Add(bad)
+		huge := append([]byte{}, valid[:len(valid)-1]...)
+		huge = append(huge, updateTagInsertR, 0xFF, 0xFF, 0xFF, 0xFF) // oversized section
+		f.Add(huge)
+	}
+
+	const maxOps = 1 << 12
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Binary transport: decode, and on success check the cap and
+		// the re-encode round trip.
+		req, err := DecodeUpdateBody(bytes.NewReader(data), maxOps)
+		if err == nil {
+			if n := req.Ops().Ops(); n > maxOps {
+				t.Fatalf("decoder accepted %d ops past the %d cap", n, maxOps)
+			}
+			re := encodeUpdate(t, req)
+			again, err := DecodeUpdateBody(bytes.NewReader(re), maxOps)
+			if err != nil {
+				t.Fatalf("re-encoded body failed to decode: %v", err)
+			}
+			if again.Dataset != req.Dataset || again.Algorithm != req.Algorithm ||
+				again.Seed != req.Seed ||
+				len(again.InsertR) != len(req.InsertR) || len(again.InsertS) != len(req.InsertS) ||
+				len(again.DeleteR) != len(req.DeleteR) || len(again.DeleteS) != len(req.DeleteS) {
+				t.Fatalf("round trip changed the request: %+v vs %+v", req, again)
+			}
+		}
+		// JSON transport: the same bytes through the handler's other
+		// decode path must never panic either.
+		var jreq UpdateRequest
+		_ = json.Unmarshal(data, &jreq)
+		_ = jreq.Ops().Validate()
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/registry"
 	"repro/internal/router"
@@ -104,8 +105,9 @@ type ServerOptions struct {
 // an engine registry (memory-budgeted, build-deduplicating) behind
 // the HTTP API of internal/server. Create with NewServer.
 type Server struct {
-	h   *server.Server
-	reg *registry.Registry
+	h      *server.Server
+	reg    *registry.Registry
+	stores *dynamic.Stores
 }
 
 // NewServer assembles a serving stack from opts.
@@ -139,16 +141,75 @@ func NewServer(opts *ServerOptions) (*Server, error) {
 		o.MaxT = server.DefaultMaxT
 	}
 
-	build := func(ctx context.Context, key EngineKey) (*engine.Engine, error) {
-		// Key problems are the client's fault (wrapped ErrBadKey →
-		// HTTP 400); a failing build on a valid key is the server's.
+	// validateKey front-runs both build paths: key problems are the
+	// client's fault (wrapped ErrBadKey → HTTP 400); a failing build
+	// on a valid key is the server's.
+	validateKey := func(key EngineKey) error {
 		if !knownAlgorithm(key.Algorithm) {
-			return nil, fmt.Errorf("%w: unknown algorithm %q (have %v)",
+			return fmt.Errorf("%w: unknown algorithm %q (have %v)",
 				server.ErrBadKey, key.Algorithm, Algorithms())
 		}
 		if !(key.L > 0) || math.IsInf(key.L, 0) {
-			return nil, fmt.Errorf("%w: half-extent must be positive and finite, got %g",
+			return fmt.Errorf("%w: half-extent must be positive and finite, got %g",
 				server.ErrBadKey, key.L)
+		}
+		return nil
+	}
+	// Mutable datasets: a dynamic store springs into existence on the
+	// first POST /v1/update addressed to its key, bulk-built from the
+	// same resolver the static engines use; sampling then follows the
+	// store's generation. reg is assigned below, before any store can
+	// exist — the factory only runs on a live server's first update.
+	var reg *registry.Registry
+	stores := dynamic.NewStores(func(ctx context.Context, key EngineKey) (*dynamic.Store, error) {
+		if err := validateKey(key); err != nil {
+			return nil, err
+		}
+		R, S, err := o.Datasets(key.Dataset)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", server.ErrBadKey, err)
+		}
+		st, err := NewStore(R, S, key.L, &StoreOptions{
+			Algorithm: Algorithm(key.Algorithm),
+			Seed:      key.Seed,
+			MaxT:      o.MaxT,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Every generation bump — an Apply, or a background rebuild
+		// swap that no handler observes — drops the registry engines
+		// it just made stale, so a rebuild cannot strand a whole old
+		// base in the cache until the next update arrives.
+		st.st.SetOnGeneration(func(gen uint64) {
+			stale := key
+			stale.Generation = gen
+			reg.EvictOlder(stale)
+		})
+		return st.st, nil
+	})
+	build := func(ctx context.Context, key EngineKey) (*engine.Engine, error) {
+		if key.Generation != 0 {
+			// A generation-tagged key is a dynamic store's view: the
+			// "build" is a cheap handle fetch — the store already holds
+			// the serving engine for its current generation. A stale
+			// generation (an Apply won the race) is reported, never
+			// cached, and retried by the handler with the fresh one.
+			st, ok := stores.Lookup(key)
+			if !ok {
+				return nil, fmt.Errorf("%w: no dynamic store for %s", server.ErrBadKey, key)
+			}
+			gen, eng, err := st.ViewEngine()
+			if err != nil {
+				return nil, err
+			}
+			if gen != key.Generation {
+				return nil, dynamic.ErrStaleGeneration
+			}
+			return eng, nil
+		}
+		if err := validateKey(key); err != nil {
+			return nil, err
 		}
 		R, S, err := o.Datasets(key.Dataset)
 		if err != nil {
@@ -164,12 +225,12 @@ func NewServer(opts *ServerOptions) (*Server, error) {
 		eng.SetMaxT(o.MaxT)
 		return eng.e, nil
 	}
-	reg := registry.New(build, o.MemoryBudget)
-	h, err := server.New(server.Config{Registry: reg, MaxT: o.MaxT, Timeout: o.Timeout})
+	reg = registry.New(build, o.MemoryBudget)
+	h, err := server.New(server.Config{Registry: reg, Stores: stores, MaxT: o.MaxT, Timeout: o.Timeout})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{h: h, reg: reg}, nil
+	return &Server{h: h, reg: reg, stores: stores}, nil
 }
 
 // BuiltinDatasets returns the dataset resolver NewServer uses by
@@ -304,6 +365,21 @@ func NewRouter(backends []string, opts RouterOptions) (*Router, error) {
 func (s *Server) Warm(ctx context.Context, key EngineKey) error {
 	_, err := s.reg.Get(ctx, key)
 	return err
+}
+
+// Apply routes one update batch to key's dynamic store — creating the
+// store on first use — exactly as POST /v1/update does, including the
+// eviction of engines the generation bump made stale. For embedders;
+// remote clients use Client.Apply.
+func (s *Server) Apply(ctx context.Context, key EngineKey, u Update) (uint64, error) {
+	key.Algorithm = server.NormalizeAlgorithm(key.Algorithm)
+	gen, err := s.stores.Apply(ctx, key, u)
+	if err != nil {
+		return gen, err
+	}
+	key.Generation = gen
+	s.reg.EvictOlder(key)
+	return gen, nil
 }
 
 // RegistryStats snapshots the engine cache counters.

@@ -100,9 +100,7 @@ func (e *Engine) DrawFunc(ctx context.Context, req Request, fn func(batch []Pair
 // draw_seed. The receiver is unchanged; the full multi-key client
 // API remains available on the bound copy.
 func (c *Client) Bind(key EngineKey) *Client {
-	if key.Algorithm == "" {
-		key.Algorithm = string(BBST)
-	}
+	key.Algorithm = server.NormalizeAlgorithm(key.Algorithm)
 	return &Client{Client: c.Client, key: key, bound: true}
 }
 

@@ -3,10 +3,12 @@ package srj_test
 // The Source conformance suite, instantiated. The suite itself lives
 // in srjtest (one set of behavioral tests, written once against
 // srj.Source); this file registers the repo's implementations — the
-// in-process Engine, a Client bound to an engine key on a live HTTP
-// server, and a Router bound to the same key over a sharded fleet of
-// three servers — so every tier answers to the same contract. A new
-// tier gets the full suite by adding one constructor here.
+// in-process Engine, the mutable Store, a Client bound to an engine
+// key on a live HTTP server, and a Router bound to the same key over
+// a sharded fleet of three servers — so every tier answers to the
+// same contract, and the mutable tiers additionally answer to the
+// update-aware suite. A new tier gets the full suite by adding one
+// constructor here.
 
 import (
 	"context"
@@ -28,6 +30,23 @@ func newEngineSource(t *testing.T, cfg srjtest.Config) srj.Source {
 	}
 	eng.SetMaxT(cfg.MaxT)
 	return eng
+}
+
+// newStoreUpdatable builds the mutable in-process implementation: a
+// Store at generation 0 over the same structures the Engine fixture
+// serves.
+func newStoreUpdatable(t *testing.T, cfg srjtest.Config) srjtest.Updatable {
+	t.Helper()
+	st, err := srj.NewStore(cfg.R, cfg.S, cfg.L, &srj.StoreOptions{Seed: cfg.BuildSeed, MaxT: cfg.MaxT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// newStoreSource is the Store as a plain (never-mutated) Source.
+func newStoreSource(t *testing.T, cfg srjtest.Config) srj.Source {
+	return newStoreUpdatable(t, cfg).(*srj.Store).Bind()
 }
 
 // startBackends brings up n independent srjservers (registry + HTTP
@@ -106,12 +125,47 @@ func TestSourceConformance(t *testing.T) {
 		make srjtest.MakeSource
 	}{
 		{"Engine", newEngineSource},
+		{"Store", newStoreSource},
 		{"Client", newClientSource},
 		{"Router", newRouterSource},
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) {
 			srjtest.RunSourceConformance(t, fx.make)
+		})
+	}
+}
+
+// newClientUpdatable is the remote updatable implementation: the
+// bound client's Apply travels as POST /v1/update, and the server's
+// dynamic store springs into existence on the first batch.
+func newClientUpdatable(t *testing.T, cfg srjtest.Config) srjtest.Updatable {
+	t.Helper()
+	return newClientSource(t, cfg).(*srj.Client)
+}
+
+// newRouterUpdatable is the sharded updatable implementation: Apply
+// broadcasts to all three backends, draws route to the key's shard.
+func newRouterUpdatable(t *testing.T, cfg srjtest.Config) srjtest.Updatable {
+	t.Helper()
+	return newRouterSourceN(t, cfg, 3).(srjtest.Updatable)
+}
+
+// TestUpdatableConformance runs the update-aware suite over every
+// tier that accepts mutations: the local Store, the Client over one
+// server, and the Router over a broadcast fleet of three.
+func TestUpdatableConformance(t *testing.T) {
+	fixtures := []struct {
+		name string
+		make srjtest.MakeUpdatable
+	}{
+		{"Store", newStoreUpdatable},
+		{"Client", newClientUpdatable},
+		{"Router", newRouterUpdatable},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			srjtest.RunUpdatableConformance(t, fx.make)
 		})
 	}
 }
@@ -125,6 +179,7 @@ func TestSourceAgreement(t *testing.T) {
 	R, S, l := srjtest.Data()
 	cfg := srjtest.Config{R: R, S: S, L: l, MaxT: 100_000, BuildSeed: 7}
 	local := newEngineSource(t, cfg)
+	store := newStoreSource(t, cfg)
 	remote := newClientSource(t, cfg)
 	routed := newRouterSourceN(t, cfg, 3)
 	ctx := context.Background()
@@ -133,7 +188,7 @@ func TestSourceAgreement(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for name, src := range map[string]srj.Source{"client": remote, "router": routed} {
+		for name, src := range map[string]srj.Source{"store": store, "client": remote, "router": routed} {
 			b, err := src.Draw(ctx, srj.Request{T: 3000, Seed: seed})
 			if err != nil {
 				t.Fatal(err)

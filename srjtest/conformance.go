@@ -1,11 +1,13 @@
 // Package srjtest holds the srj.Source conformance suite as a
 // reusable harness: one set of behavioral tests that every
 // implementation of the contract must pass, parameterized by a
-// constructor. The repo's three serving tiers — the in-process
-// srj.Engine, srj.Client.Bind over one srjserver, and srj.Router.Bind
-// over a sharded fleet — all register here, and a new tier (an
-// alternative transport, a dynamic-update front) buys the whole suite
-// by adding one MakeSource.
+// constructor. The repo's four serving tiers — the in-process
+// srj.Engine, the mutable srj.Store, srj.Client.Bind over one
+// srjserver, and srj.Router.Bind over a sharded fleet — all register
+// here, and a new tier (an alternative transport) buys the whole
+// suite by adding one MakeSource. Tiers that accept mutations also
+// register for RunUpdatableConformance (see updatable.go), which
+// holds the insert/delete semantics to one contract the same way.
 //
 // The point of the Source contract is that callers cannot tell the
 // implementations apart, so the suite is written once against
