@@ -37,6 +37,7 @@ import (
 
 	srj "repro"
 	"repro/internal/exp"
+	"repro/internal/server"
 )
 
 // paperOrder is the presentation order of the experiments when running
@@ -532,9 +533,11 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 		base, cfg.algo, cfg.dataset, cfg.l)
 
 	key := srj.EngineKey{
-		Dataset:   cfg.dataset,
-		L:         cfg.l,
-		Algorithm: string(cfg.algo),
+		Dataset: cfg.dataset,
+		L:       cfg.l,
+		// Normalized at mint: the key is also used for eviction and
+		// updates, which must address exactly the engine the draws hit.
+		Algorithm: server.NormalizeAlgorithm(string(cfg.algo)),
 		Seed:      cfg.seed,
 	}
 	src := target.bind(key)

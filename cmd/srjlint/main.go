@@ -1,0 +1,20 @@
+// Command srjlint is the repository's custom static-analysis suite:
+// five analyzers that machine-check invariants the serving stack
+// depends on (per-batch context checks in draw loops, seeded-rng
+// determinism, wire/sentinel exhaustiveness, key normalization, and
+// snapshot immutability after an atomic publish). It speaks the
+// `go vet -vettool` unit protocol, so it runs over the whole module
+// with vet's caching and package loading:
+//
+//	go build -o srjlint ./cmd/srjlint
+//	go vet -vettool=./srjlint ./...
+//
+// Individual analyzers can be disabled with their flag
+// (-snapshotmutate=false), and single findings suppressed in source
+// with `//lint:allow <analyzer> <reason>` — the reason is mandatory.
+// See internal/lint and the README's "Static analysis" section.
+package main
+
+import "repro/internal/lint"
+
+func main() { lint.Main() }

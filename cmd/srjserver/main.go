@@ -42,6 +42,7 @@ import (
 	"time"
 
 	srj "repro"
+	"repro/internal/server"
 )
 
 // config is the parsed flag set.
@@ -138,7 +139,15 @@ func parseWarm(spec string) ([]srj.EngineKey, error) {
 		if len(parts) < 2 || len(parts) > 4 {
 			return nil, fmt.Errorf("bad -warm entry %q (want dataset:l[:algorithm[:seed]])", entry)
 		}
-		key := srj.EngineKey{Dataset: parts[0], Algorithm: "bbst"}
+		// An omitted algorithm takes the fleet-wide default through
+		// NormalizeAlgorithm — the same normalization every serving
+		// tier applies, so -warm can never address a different key
+		// than the requests it warms for.
+		algo := ""
+		if len(parts) > 2 {
+			algo = parts[2]
+		}
+		key := srj.EngineKey{Dataset: parts[0], Algorithm: server.NormalizeAlgorithm(algo)}
 		var err error
 		if key.L, err = strconv.ParseFloat(parts[1], 64); err != nil {
 			return nil, fmt.Errorf("bad -warm extent in %q: %w", entry, err)
@@ -147,9 +156,6 @@ func parseWarm(spec string) ([]srj.EngineKey, error) {
 		// real window size.
 		if !(key.L > 0) || math.IsInf(key.L, 0) {
 			return nil, fmt.Errorf("bad -warm extent in %q: must be positive and finite", entry)
-		}
-		if len(parts) > 2 {
-			key.Algorithm = parts[2]
 		}
 		if len(parts) > 3 {
 			if key.Seed, err = strconv.ParseUint(parts[3], 10, 64); err != nil {

@@ -57,7 +57,7 @@ func main() {
 	// the same Draw/DrawFunc contract the in-process srj.Engine
 	// serves, so everything below would run unchanged against a local
 	// engine.
-	src := cl.Bind(srj.EngineKey{Dataset: "nyc", L: 100, Algorithm: "bbst", Seed: 1})
+	src := cl.Bind(srj.EngineKey{Dataset: "nyc", L: 100, Algorithm: string(srj.BBST), Seed: 1})
 
 	// Request 1: a registry miss — the server builds the BBST for
 	// (nyc, 100, bbst, 1) and then streams the samples.

@@ -56,10 +56,10 @@ func main() {
 	// Distinct keys land on distinct shards: each build happens once,
 	// on its key's home backend.
 	keys := []srj.EngineKey{
-		{Dataset: "nyc", L: 100, Algorithm: "bbst", Seed: 1},
-		{Dataset: "castreet", L: 50, Algorithm: "bbst", Seed: 1},
-		{Dataset: "uniform", L: 200, Algorithm: "bbst", Seed: 1},
-		{Dataset: "nyc", L: 250, Algorithm: "bbst", Seed: 1},
+		{Dataset: "nyc", L: 100, Algorithm: string(srj.BBST), Seed: 1},
+		{Dataset: "castreet", L: 50, Algorithm: string(srj.BBST), Seed: 1},
+		{Dataset: "uniform", L: 200, Algorithm: string(srj.BBST), Seed: 1},
+		{Dataset: "nyc", L: 250, Algorithm: string(srj.BBST), Seed: 1},
 	}
 	for _, key := range keys {
 		fmt.Printf("key %-18s -> %s\n", key, rt.Locate(key))

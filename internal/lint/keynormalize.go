@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// KeyNormalize enforces the fleet-wide key-normalization contract: a
+// registry.Key's Algorithm field must flow through NormalizeAlgorithm
+// (the single definition of the empty-means-"bbst" default). Before
+// PR 5's review pass that defaulting was spelled five independent
+// ways; a tier that spells it differently — or hardcodes "bbst" —
+// addresses a different cache key for the same request, the exact
+// drift this analyzer makes impossible to reintroduce.
+//
+// Accepted Algorithm sources: a NormalizeAlgorithm(...) call, another
+// Key's .Algorithm field (already normalized), or a local variable
+// assigned from either. Everything else — string literals included —
+// is flagged. The package that defines Key (registry) is exempt: it
+// stores keys, it does not mint them from request input.
+var KeyNormalize = &Analyzer{
+	Name: "keynormalize",
+	Doc: "keynormalize flags registry.Key constructions and assignments whose " +
+		"Algorithm value does not flow through NormalizeAlgorithm, the single " +
+		"definition of the fleet-wide default-algorithm spelling.",
+	Run: runKeyNormalize,
+}
+
+func runKeyNormalize(pass *Pass) error {
+	if pass.Pkg.Name() == "registry" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Walk function by function so local normalize-assignments
+		// can vouch for identifiers used nearby.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkKeyLiteral(pass, f, n)
+			case *ast.AssignStmt:
+				checkKeyFieldAssign(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistryKeyType reports whether t is the registry Key type (or a
+// pointer to it). The match is by type name and defining package
+// name, so the srj.EngineKey alias resolves to the same named type.
+func isRegistryKeyType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Key" && obj.Pkg() != nil && obj.Pkg().Name() == "registry"
+}
+
+// checkKeyLiteral validates the Algorithm element of a Key composite
+// literal. Literals that omit Algorithm are left alone: a zero Key is
+// a legitimate lookup/aggregate value, and the serving tiers
+// normalize at their decode boundary.
+func checkKeyLiteral(pass *Pass, file *ast.File, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isRegistryKeyType(tv.Type) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			pass.Reportf(lit.Pos(), "registry.Key literal must use keyed fields so the Algorithm source is auditable")
+			return
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Algorithm" {
+			continue
+		}
+		if !isNormalizedAlgorithmExpr(pass, file, kv.Value) {
+			pass.Reportf(kv.Value.Pos(), "registry.Key.Algorithm must flow through NormalizeAlgorithm (the empty-means-default spelling drifts otherwise)")
+		}
+	}
+}
+
+// isAlgorithmNamedType reports whether t is the named Algorithm type
+// of the root srj package (matched by name so testdata mocks work).
+func isAlgorithmNamedType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Algorithm" && obj.Pkg() != nil && obj.Pkg().Name() == "srj"
+}
+
+// checkKeyFieldAssign validates `k.Algorithm = expr` writes.
+func checkKeyFieldAssign(pass *Pass, file *ast.File, assign *ast.AssignStmt) {
+	for i, lhs := range assign.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Algorithm" {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !isRegistryKeyType(tv.Type) {
+			continue
+		}
+		if i >= len(assign.Rhs) {
+			continue // tuple assignment; out of this analyzer's depth
+		}
+		if !isNormalizedAlgorithmExpr(pass, file, assign.Rhs[i]) {
+			pass.Reportf(assign.Rhs[i].Pos(), "registry.Key.Algorithm must flow through NormalizeAlgorithm (the empty-means-default spelling drifts otherwise)")
+		}
+	}
+}
+
+// isNormalizedAlgorithmExpr reports whether e is an accepted
+// Algorithm source.
+func isNormalizedAlgorithmExpr(pass *Pass, file *ast.File, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	// A constant of the root package's named Algorithm type
+	// (string(srj.BBST)) is an explicit, compile-checked algorithm
+	// choice — renaming breaks the build instead of drifting. A raw
+	// "bbst" string literal is not: that spelling is what drifts.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil &&
+		tv.Value.Kind() == constant.String && constant.StringVal(tv.Value) != "" &&
+		isAlgorithmNamedType(tv.Type) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if calleeName(e) == "NormalizeAlgorithm" {
+			return true
+		}
+		// A conversion wrapping an accepted value: string(srj.BBST)
+		// or string(norm(...)).
+		if len(e.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return isNormalizedAlgorithmExpr(pass, file, e.Args[0])
+			}
+		}
+	case *ast.SelectorExpr:
+		// key.Algorithm copied from an existing Key: already normalized.
+		if e.Sel.Name == "Algorithm" {
+			if tv, ok := pass.TypesInfo.Types[e.X]; ok && isRegistryKeyType(tv.Type) {
+				return true
+			}
+		}
+	case *ast.Ident:
+		return identFedByNormalize(pass, file, e)
+	}
+	return false
+}
+
+// identFedByNormalize reports whether some assignment or definition
+// in the same file feeds this identifier's object from a
+// NormalizeAlgorithm call or a Key.Algorithm copy — the cheap local
+// dataflow that keeps `algo := NormalizeAlgorithm(q.Algorithm)`
+// followed by `Key{Algorithm: algo}` legal.
+func identFedByNormalize(pass *Pass, file *ast.File, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	fed := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if fed {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || i >= len(assign.Rhs) {
+				continue
+			}
+			lobj := pass.TypesInfo.Defs[lid]
+			if lobj == nil {
+				lobj = pass.TypesInfo.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			rhs := ast.Unparen(assign.Rhs[i])
+			if call, ok := rhs.(*ast.CallExpr); ok && calleeName(call) == "NormalizeAlgorithm" {
+				fed = true
+				return false
+			}
+			if sel, ok := rhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Algorithm" {
+				if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isRegistryKeyType(tv.Type) {
+					fed = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return fed
+}

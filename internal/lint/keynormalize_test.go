@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestKeyNormalize(t *testing.T) {
+	linttest.Run(t, "testdata", "keyuser", lint.KeyNormalize)
+}
+
+// TestKeyNormalizeRegistryExempt: the package that defines Key stores
+// keys rather than minting them from request input, so its raw
+// literals are legal.
+func TestKeyNormalizeRegistryExempt(t *testing.T) {
+	linttest.Run(t, "testdata", "registry", lint.KeyNormalize)
+}

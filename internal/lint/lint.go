@@ -1,0 +1,216 @@
+// Package lint is srjlint's analysis framework: a deliberately small,
+// stdlib-only re-implementation of the golang.org/x/tools go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus the five analyzers that
+// machine-check this repository's hard-won invariants. Each analyzer
+// encodes a defect class that an earlier PR's review pass caught by
+// hand:
+//
+//   - ctxloop: draw loops must consult their context per batch
+//   - rngdeterminism: seeded-draw byte-identity must not depend on
+//     global randomness, wall-clock seeds, or map iteration order
+//   - sentinelwire: error sentinels must round-trip through the wire
+//     code tables, and wire tiers must wrap errors with %w
+//   - keynormalize: registry.Key.Algorithm must flow through
+//     NormalizeAlgorithm
+//   - snapshotmutate: atomically published snapshots are immutable
+//
+// The framework exists because the module vendors no third-party
+// code: analyzers run over plain go/ast + go/types packages, and
+// cmd/srjlint drives them through the `go vet -vettool` unit protocol
+// (see unit.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis and its checker function. It is
+// the stdlib-only analog of golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppression comments.
+	Name string
+	// Doc is the one-paragraph description shown by -help.
+	Doc string
+	// Run applies the analyzer to one type-checked package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: a position and a message, tagged with
+// the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Analyzers returns srjlint's full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CtxLoop,
+		RNGDeterminism,
+		SentinelWire,
+		KeyNormalize,
+		SnapshotMutate,
+	}
+}
+
+// RunAnalyzers applies analyzers to one type-checked package and
+// returns the diagnostics that survive `//lint:allow` suppression
+// (see suppress.go), sorted by position. An analyzer returning an
+// error aborts the run.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	diags = applySuppressions(fset, files, diags, analyzers)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// --- shared helpers used by several analyzers ---
+
+// isTestFile reports whether the file containing pos is a _test.go
+// file. Most analyzers enforce production invariants only.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// pathHasSegment reports whether one "/"-separated element of the
+// import path equals seg (so "core" matches "repro/internal/core" but
+// not "repro/internal/corespray").
+func pathHasSegment(path, seg string) bool {
+	for len(path) > 0 {
+		i := strings.IndexByte(path, '/')
+		var elem string
+		if i < 0 {
+			elem, path = path, ""
+		} else {
+			elem, path = path[:i], path[i+1:]
+		}
+		if elem == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamedType reports whether t (or the pointee, if t is a pointer)
+// is the named type pkgPath.name. Generic instantiations match their
+// origin. Aliases are looked through by go/types before we get here.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && isNamedType(t, "context", "Context")
+}
+
+// usesContext reports whether any expression under n denotes a value
+// of type context.Context — a ctx.Err() / ctx.Done() consultation, a
+// ctx argument threaded into a call, or a select on ctx.Done().
+func usesContext(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[e]; ok && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName returns the bare name of a call's callee: "Draw" for
+// both draw(...) and src.Draw(...). Empty when the callee is not an
+// identifier or selector (e.g. a call of a call).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// rootIdent returns the identifier at the base of a selector chain
+// (v for v.a.b), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package linttest runs srjlint analyzers over self-contained testdata
+// packages and checks their diagnostics against `// want "regex"`
+// comment expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which this module
+// cannot vendor). Testdata packages live under <testdata>/src/<path>
+// and may import each other by those paths. The handful of standard-
+// library packages the analyzers match on (context, sync/atomic,
+// math/rand, time, fmt, errors) are provided as minimal mocks at the
+// same import paths, so loading is hermetic: no GOROOT parsing, no
+// go/build, no network.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// A Package is one loaded, type-checked testdata package — exactly the
+// inputs lint.RunAnalyzers wants.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks <testdata>/src/<path> (resolving its
+// imports from the same tree) and fails the test on any error: lint
+// testdata must always type-check, otherwise the analyzers silently
+// see incomplete type information.
+func Load(t *testing.T, testdata, path string) *Package {
+	t.Helper()
+	im := newImporter(testdata)
+	lp, err := im.load(path)
+	if err != nil {
+		t.Fatalf("loading testdata package %q: %v", path, err)
+	}
+	return &Package{Fset: im.fset, Files: lp.files, Pkg: lp.pkg, Info: lp.info}
+}
+
+// Run loads the testdata package, applies the analyzers, and compares
+// the surviving diagnostics against the package's `// want` comments:
+// every diagnostic must match a want regex on its line, and every want
+// must be hit by at least one diagnostic.
+func Run(t *testing.T, testdata, path string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	p := Load(t, testdata, path)
+	diags, err := lint.RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %q: %v", path, err)
+	}
+	wants := collectWants(t, p.Fset, p.Files)
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// want is one expectation parsed from a `// want "regex"` comment,
+// anchored to the comment's line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantArgRe tokenizes the argument list of a want comment: backquoted
+// or double-quoted Go string literals, each holding one regexp.
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants extracts every want expectation from the files'
+// comments. A comment may carry several patterns: // want `a` `b`.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				args := wantArgRe.FindAllString(text, -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: malformed want comment (need quoted regexps): %s", pos, c.Text)
+				}
+				for _, arg := range args {
+					s, err := strconv.Unquote(arg)
+					if err != nil {
+						t.Fatalf("%s: bad want argument %s: %v", pos, arg, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: s})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// --- the testdata importer ---
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// testImporter resolves every import path against <testdata>/src,
+// caching packages so diamond imports share one *types.Package (type
+// identity across the tree depends on it).
+type testImporter struct {
+	fset    *token.FileSet
+	src     string
+	pkgs    map[string]*loadedPkg
+	loading map[string]bool
+}
+
+func newImporter(testdata string) *testImporter {
+	return &testImporter{
+		fset:    token.NewFileSet(),
+		src:     filepath.Join(testdata, "src"),
+		pkgs:    make(map[string]*loadedPkg),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (im *testImporter) Import(path string) (*types.Package, error) {
+	lp, err := im.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return lp.pkg, nil
+}
+
+func (im *testImporter) load(path string) (*loadedPkg, error) {
+	if lp, ok := im.pkgs[path]; ok {
+		return lp, nil
+	}
+	if im.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	im.loading[path] = true
+	defer delete(im.loading, path)
+
+	dir := filepath.Join(im.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("no testdata package at %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("testdata package %q has no .go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := types.Config{Importer: im}
+	pkg, err := cfg.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %q: %w", path, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	im.pkgs[path] = lp
+	return lp, nil
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGDeterminism guards the cross-tier byte-identity invariant: a
+// seeded draw must return the same bytes from an Engine, a remote
+// Client, a Router, and a Store replica. Everything under
+// internal/{core,dynamic,alias,rng} therefore derives all randomness
+// from the seeded rng streams, never from process-global state. The
+// analyzer flags, in non-test code of those packages:
+//
+//   - calls to math/rand (and math/rand/v2) package-level functions,
+//     which draw from the shared global source;
+//   - wall-clock seed material (time.Now().UnixNano() and friends);
+//   - map iterations whose loop body produces order-dependent
+//     results: appending to a slice, or accumulating a float — both
+//     make the outcome depend on Go's randomized iteration order.
+var RNGDeterminism = &Analyzer{
+	Name: "rngdeterminism",
+	Doc: "rngdeterminism forbids global math/rand functions, wall-clock seeds, " +
+		"and order-dependent map iteration in the deterministic sampling " +
+		"packages (internal/core, internal/dynamic, internal/alias, " +
+		"internal/rng), where seeded-draw byte-identity is a tested invariant.",
+	Run: runRNGDeterminism,
+}
+
+// rngScopeSegments are the import-path segments naming the packages
+// under the byte-identity contract.
+var rngScopeSegments = []string{"core", "dynamic", "alias", "rng"}
+
+// globalRandOK lists the math/rand package-level functions that do
+// NOT draw from the global source: constructors for explicitly
+// seeded generators.
+var globalRandOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runRNGDeterminism(pass *Pass) error {
+	inScope := false
+	for _, seg := range rngScopeSegments {
+		if pathHasSegment(pass.Pkg.Path(), seg) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkGlobalRand(pass, n)
+				checkClockSeed(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGlobalRand flags calls to math/rand package-level functions
+// that consume the process-global source.
+func checkGlobalRand(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	path := pkgName.Imported().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if globalRandOK[sel.Sel.Name] {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s.%s draws from the process-global source; use the package's seeded rng streams (seeded-draw byte-identity is a tested invariant)",
+		pkgName.Name(), sel.Sel.Name)
+}
+
+// clockSeedMethods are the time.Time methods that turn a wall-clock
+// reading into integer seed material. Plain time.Now() for duration
+// measurement stays legal — timings are not part of the drawn bytes.
+var clockSeedMethods = map[string]bool{
+	"Unix":       true,
+	"UnixNano":   true,
+	"UnixMilli":  true,
+	"UnixMicro":  true,
+	"Nanosecond": true,
+}
+
+// checkClockSeed flags time.Now().UnixNano()-style expressions: the
+// canonical nondeterministic-seed pattern.
+func checkClockSeed(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !clockSeedMethods[sel.Sel.Name] {
+		return
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	innerSel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+	if !ok || innerSel.Sel.Name != "Now" {
+		return
+	}
+	id, ok := ast.Unparen(innerSel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "time" {
+		return
+	}
+	pass.Reportf(call.Pos(), "time.Now().%s() is wall-clock seed material; deterministic packages must derive randomness from configured seeds only", sel.Sel.Name)
+}
+
+// checkMapRange flags range-over-map loops whose body makes the
+// result depend on iteration order: appending to a slice, or
+// accumulating into a float variable (float addition is not
+// associative). Order-insensitive bodies — rebuilding another map,
+// integer counting, deleting keys — pass.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var why string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					why = "appends to a slice"
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if tv, ok := pass.TypesInfo.Types[lhs]; ok && isFloat(tv.Type) && isAccumulation(n) {
+					why = "accumulates a float (float addition is order-dependent)"
+				}
+			}
+		}
+		return true
+	})
+	if why != "" {
+		pass.Reportf(rng.Pos(), "map iteration order is randomized and this loop %s; iterate a sorted key slice instead", why)
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isAccumulation reports whether the assignment reuses its own LHS:
+// x += e, or x = x + e style updates.
+func isAccumulation(assign *ast.AssignStmt) bool {
+	switch assign.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+		return true
+	case "=":
+		// x = x + e — conservative: any mention of an LHS ident on
+		// the RHS counts.
+		for i, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || i >= len(assign.Rhs) {
+				continue
+			}
+			found := false
+			ast.Inspect(assign.Rhs[i], func(n ast.Node) bool {
+				if rid, ok := n.(*ast.Ident); ok && rid.Name == id.Name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", "core", lint.RNGDeterminism)
+}
+
+// TestRNGDeterminismOutOfScope: the same patterns in a package outside
+// the deterministic-sampling scope produce no diagnostics — tooling
+// and benchmarks may use the global source.
+func TestRNGDeterminismOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata", "outofscope", lint.RNGDeterminism)
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestSentinelWire(t *testing.T) {
+	linttest.Run(t, "testdata", "wire/server", lint.SentinelWire)
+}
+
+// TestSentinelWireSourcePackage: the sentinel-defining package itself
+// declares no wire tables and is not a wire tier; nothing is flagged
+// there.
+func TestSentinelWireSourcePackage(t *testing.T) {
+	linttest.Run(t, "testdata", "wire/core", lint.SentinelWire)
+}

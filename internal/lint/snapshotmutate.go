@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotMutate flags the shared-base clone race the PR 5 hammer
+// found: a view/snapshot value published through an atomic pointer
+// (or handed to a test hook) and then mutated. Readers hold the old
+// pointer concurrently, so any write after the publish is a data
+// race — snapshots must be fully built before they escape, and a
+// published snapshot is immutable forever.
+//
+// The check is per-function and flow-insensitive about loops (the
+// race shape is straight-line): after a statement that publishes
+// identifier v — v passed to atomic.Pointer.Store / atomic.Value.
+// Store, or to a testHook* call — any later write through v
+// (v.field = x, v.field++, delete through v, writes to v.a.b) is
+// reported, unless v was wholly reassigned in between.
+var SnapshotMutate = &Analyzer{
+	Name: "snapshotmutate",
+	Doc: "snapshotmutate flags writes to struct fields of a value after it was " +
+		"published through atomic.Pointer.Store/atomic.Value.Store or a " +
+		"testHook* call; published snapshots are immutable.",
+	Run: runSnapshotMutate,
+}
+
+func runSnapshotMutate(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkPublishes(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// event is one position-ordered occurrence concerning an identifier's
+// object: a publish, a whole-value reassignment, or a field write.
+type event struct {
+	pos  token.Pos
+	kind int // 0 publish, 1 reassign, 2 field write
+	obj  types.Object
+	via  string // for publishes: what published it, for the report
+}
+
+func checkPublishes(pass *Pass, body *ast.BlockStmt) {
+	var events []event
+
+	record := func(pos token.Pos, kind int, obj types.Object, via string) {
+		if obj != nil {
+			events = append(events, event{pos: pos, kind: kind, obj: obj, via: via})
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions are their own scope
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if via, arg := publishedArg(pass, n); arg != nil {
+				record(n.Pos(), 0, identObj(pass, arg), via)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				lhs = ast.Unparen(lhs)
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(n.Pos(), 1, identObj(pass, id), "")
+					continue
+				}
+				if root := rootIdent(lhs); root != nil && lhs != ast.Expr(root) {
+					record(n.Pos(), 2, identObj(pass, root), "")
+				}
+			}
+		case *ast.IncDecStmt:
+			if root := rootIdent(n.X); root != nil && ast.Unparen(n.X) != ast.Expr(root) {
+				record(n.Pos(), 2, identObj(pass, root), "")
+			}
+		}
+		return true
+	})
+
+	// For each field write, find a publish of the same object that
+	// precedes it with no whole-value reassignment in between.
+	for _, w := range events {
+		if w.kind != 2 {
+			continue
+		}
+		var publish *event
+		for i := range events {
+			e := &events[i]
+			if e.obj != w.obj || e.pos >= w.pos {
+				continue
+			}
+			switch e.kind {
+			case 0:
+				if publish == nil || e.pos > publish.pos {
+					publish = e
+				}
+			case 1:
+				if publish != nil && e.pos > publish.pos {
+					publish = nil
+				}
+			}
+		}
+		// Reassignments between publish and write: scan again (the
+		// loop above only clears reassignments seen after the current
+		// best publish, which is exactly the in-between window).
+		if publish != nil {
+			pass.Reportf(w.pos, "write to %s after it was published via %s; a published snapshot is immutable (readers hold it concurrently)",
+				w.obj.Name(), publish.via)
+		}
+	}
+}
+
+// publishedArg reports whether call publishes one of its arguments:
+// an atomic.Pointer/atomic.Value Store method call (argument 0), or
+// a call to anything named testHook* (argument 0). It returns a
+// human-readable description and the published identifier expression.
+func publishedArg(pass *Pass, call *ast.CallExpr) (string, ast.Expr) {
+	if len(call.Args) == 0 {
+		return "", nil
+	}
+	arg := ast.Unparen(call.Args[0])
+	if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		arg = ast.Unparen(ue.X)
+	}
+	if _, ok := arg.(*ast.Ident); !ok {
+		return "", nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Store" {
+			if tv, ok := pass.TypesInfo.Types[fun.X]; ok {
+				if isNamedType(tv.Type, "sync/atomic", "Pointer") || isNamedType(tv.Type, "sync/atomic", "Value") {
+					return "atomic " + typeShort(tv.Type) + ".Store", arg
+				}
+			}
+		}
+		if isTestHookName(fun.Sel.Name) {
+			return fun.Sel.Name, arg
+		}
+	case *ast.Ident:
+		if isTestHookName(fun.Name) {
+			return fun.Name, arg
+		}
+	}
+	return "", nil
+}
+
+func isTestHookName(name string) bool {
+	return len(name) > len("testHook") && name[:len("testHook")] == "testHook"
+}
+
+func typeShort(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The `//lint:allow <analyzer> <reason>` escape hatch. A suppression
+// comment placed on the flagged line, or on the line directly above
+// it, silences that analyzer's diagnostics for that line. The reason
+// is mandatory: an allow without one (or naming an unknown analyzer,
+// or suppressing nothing) is itself reported, so every suppression in
+// the tree carries a written justification and cannot rot silently.
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// parseAllows extracts the //lint:allow directives of all files,
+// keyed by "filename:line".
+func parseAllows(fset *token.FileSet, files []*ast.File) map[string][]*allowDirective {
+	allows := make(map[string][]*allowDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), "lint:allow")
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := &allowDirective{pos: c.Pos()}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				p := fset.Position(c.Pos())
+				key := lineKey(p.Filename, p.Line)
+				allows[key] = append(allows[key], d)
+			}
+		}
+	}
+	return allows
+}
+
+func lineKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// applySuppressions filters diags through the files' //lint:allow
+// directives and appends a diagnostic for every malformed or unused
+// directive. Directive hygiene is judged against the analyzers of
+// this run: an allow naming an analyzer outside the run is left
+// alone, so running a single analyzer (as the tests do) does not
+// misreport the others' suppressions.
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	allows := parseAllows(fset, files)
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for name := range running {
+		known[name] = true
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for _, line := range []int{p.Line, p.Line - 1} {
+			for _, a := range allows[lineKey(p.Filename, line)] {
+				if a.analyzer != d.Analyzer {
+					continue
+				}
+				a.used = true
+				if a.reason != "" {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	for _, perLine := range allows {
+		for _, a := range perLine {
+			switch {
+			case !known[a.analyzer]:
+				kept = append(kept, Diagnostic{
+					Analyzer: "lintdirective",
+					Pos:      a.pos,
+					Message:  fmt.Sprintf("lint:allow names unknown analyzer %q", a.analyzer),
+				})
+			case a.reason == "" && running[a.analyzer]:
+				kept = append(kept, Diagnostic{
+					Analyzer: "lintdirective",
+					Pos:      a.pos,
+					Message:  fmt.Sprintf("lint:allow %s needs a reason (//lint:allow %s <why>)", a.analyzer, a.analyzer),
+				})
+			case !a.used && running[a.analyzer]:
+				kept = append(kept, Diagnostic{
+					Analyzer: "lintdirective",
+					Pos:      a.pos,
+					Message:  fmt.Sprintf("lint:allow %s suppresses nothing here; delete it", a.analyzer),
+				})
+			}
+		}
+	}
+	return kept
+}

@@ -1,0 +1,12 @@
+// Package context is a minimal mock of the standard context package
+// for lint testdata: the analyzers match the named type
+// context.Context by import path, so the mock must live at exactly
+// this path.
+package context
+
+type Context interface {
+	Err() error
+	Done() <-chan struct{}
+}
+
+func Background() Context { return nil }

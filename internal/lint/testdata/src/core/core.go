@@ -1,0 +1,60 @@
+// Flagged and clean randomness use for the rngdeterminism analyzer.
+// The package path ends in "core", putting it inside the analyzer's
+// deterministic-sampling scope.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seedFromClock turns the wall clock into seed material: flagged.
+func seedFromClock() int64 {
+	return time.Now().UnixNano() // want `wall-clock seed material`
+}
+
+// globalDraw consumes the process-global source: flagged.
+func globalDraw() int {
+	return rand.Int() // want `draws from the process-global source`
+}
+
+// seeded builds an explicitly seeded generator: the constructors are
+// exempt, and method draws on the local Rand are clean.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// measure uses time.Now for a duration, not a seed: clean.
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// orderDependentSum accumulates a float over map order: flagged
+// (float addition is not associative).
+func orderDependentSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order`
+		sum += v
+	}
+	return sum
+}
+
+// orderDependentAppend builds a slice in map order: flagged.
+func orderDependentAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// orderInsensitive counts integers: addition commutes, clean.
+func orderInsensitive(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,9 @@
+// Package errors is a minimal mock for lint testdata.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func New(text string) error     { return &errorString{text} }
+func Is(err, target error) bool { return err == target }

@@ -1,0 +1,6 @@
+// Package fmt is a minimal mock for lint testdata; sentinelwire
+// matches fmt.Errorf by the imported package's path.
+package fmt
+
+func Errorf(format string, args ...any) error   { return nil }
+func Sprintf(format string, args ...any) string { return "" }

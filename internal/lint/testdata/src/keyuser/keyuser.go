@@ -1,0 +1,64 @@
+// Flagged and clean registry.Key constructions for the keynormalize
+// analyzer.
+package keyuser
+
+import (
+	"registry"
+	"srj"
+)
+
+// mint passes request input straight into the key: flagged.
+func mint(algo string) registry.Key {
+	return registry.Key{Dataset: "d", Algorithm: algo} // want `Algorithm must flow through NormalizeAlgorithm`
+}
+
+// mintLiteral hardcodes the default's spelling: flagged — that
+// spelling is exactly what drifts.
+func mintLiteral() registry.Key {
+	return registry.Key{Dataset: "d", Algorithm: "bbst"} // want `Algorithm must flow through NormalizeAlgorithm`
+}
+
+// positional hides the Algorithm source: flagged.
+func positional() registry.Key {
+	return registry.Key{"d", 1, "bbst", 0} // want `must use keyed fields`
+}
+
+// assign writes raw input into an existing key: flagged.
+func assign(k *registry.Key, algo string) {
+	k.Algorithm = algo // want `Algorithm must flow through NormalizeAlgorithm`
+}
+
+// mintNormalized flows through NormalizeAlgorithm at the literal:
+// clean.
+func mintNormalized(algo string) registry.Key {
+	return registry.Key{Dataset: "d", Algorithm: srj.NormalizeAlgorithm(algo)}
+}
+
+// mintLocal normalizes into a local first: the cheap local dataflow
+// keeps this clean.
+func mintLocal(algo string) registry.Key {
+	a := srj.NormalizeAlgorithm(algo)
+	return registry.Key{Dataset: "d", Algorithm: a}
+}
+
+// mintConst uses a typed algorithm constant: an explicit,
+// compile-checked choice, clean.
+func mintConst() registry.Key {
+	return registry.Key{Dataset: "d", Algorithm: string(srj.BBST)}
+}
+
+// copyKey copies an already-normalized key's field: clean.
+func copyKey(k registry.Key) registry.Key {
+	return registry.Key{Dataset: k.Dataset, Algorithm: k.Algorithm}
+}
+
+// assignNormalized writes a normalized value: clean.
+func assignNormalized(k *registry.Key, algo string) {
+	k.Algorithm = srj.NormalizeAlgorithm(algo)
+}
+
+// zeroKey omits Algorithm entirely: a zero Key is a legitimate
+// lookup/aggregate value, clean.
+func zeroKey() registry.Key {
+	return registry.Key{Dataset: "d"}
+}

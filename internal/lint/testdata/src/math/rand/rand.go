@@ -1,0 +1,22 @@
+// Package rand is a minimal mock of math/rand for lint testdata;
+// rngdeterminism distinguishes the global draws (Int, Intn, Float64)
+// from the seeded constructors (New, NewSource) by name, and matches
+// the package by import path.
+package rand
+
+type Source interface {
+	Int63() int64
+	Seed(seed int64)
+}
+
+type Rand struct{}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+func Int() int         { return 0 }
+func Intn(n int) int   { return 0 }
+func Float64() float64 { return 0 }
+
+func (*Rand) Intn(n int) int   { return 0 }
+func (*Rand) Float64() float64 { return 0 }

@@ -1,0 +1,21 @@
+// The same randomness patterns as the core testdata, in a package
+// outside rngdeterminism's scope segments: none of it is flagged —
+// tooling and benchmarks may use the global source.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seedFromClock() int64 { return time.Now().UnixNano() }
+
+func globalDraw() int { return rand.Int() }
+
+func orderDependentAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,19 @@
+// Package registry mocks the engine-key package for the keynormalize
+// testdata: the analyzer matches the Key type by name and defining
+// package name. The package itself is exempt from the analyzer — it
+// stores keys, it does not mint them from request input — so the raw
+// literal below is legal here and nowhere else.
+package registry
+
+type Key struct {
+	Dataset   string
+	L         float64
+	Algorithm string
+	Seed      uint64
+}
+
+// Canonical mints a key with a raw algorithm string: exempt inside
+// the defining package.
+func Canonical() Key {
+	return Key{Dataset: "d", Algorithm: "bbst"}
+}

@@ -1,0 +1,64 @@
+// Flagged and clean snapshot-publication sequences for the
+// snapshotmutate analyzer.
+package snapshot
+
+import "sync/atomic"
+
+type view struct {
+	n   int
+	ids []int
+}
+
+type holder struct {
+	cur atomic.Pointer[view]
+	val atomic.Value
+}
+
+func testHookSwap(v *view) {}
+
+// publishThenMutate writes a field after the atomic publish: flagged
+// (readers hold the pointer concurrently).
+func publishThenMutate(h *holder) {
+	v := &view{n: 1}
+	h.cur.Store(v)
+	v.n = 2 // want `write to v after it was published`
+}
+
+// valueThenMutate: atomic.Value publishes the same way.
+func valueThenMutate(h *holder) {
+	v := &view{}
+	h.val.Store(v)
+	v.n = 3 // want `write to v after it was published`
+}
+
+// hookThenMutate: handing the value to a testHook* publishes it too.
+func hookThenMutate(v2 *view) {
+	testHookSwap(v2)
+	v2.n = 9 // want `write to v2 after it was published`
+}
+
+// incAfterPublish: increments are writes.
+func incAfterPublish(h *holder) {
+	v := &view{}
+	h.cur.Store(v)
+	v.n++ // want `write to v after it was published`
+}
+
+// buildThenPublish does all its writes before the Store: clean — the
+// snapshot is fully built before it escapes.
+func buildThenPublish(h *holder) {
+	v := &view{}
+	v.n = 1
+	v.ids = append(v.ids, 7)
+	h.cur.Store(v)
+}
+
+// reassignedBetween publishes, then rebinds v to a fresh value: the
+// later write touches the unpublished replacement, clean.
+func reassignedBetween(h *holder) {
+	v := &view{n: 1}
+	h.cur.Store(v)
+	v = &view{}
+	v.n = 2
+	h.cur.Store(v)
+}

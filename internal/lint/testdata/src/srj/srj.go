@@ -1,0 +1,20 @@
+// Package srj mocks the root package's Algorithm vocabulary for the
+// keynormalize testdata: a named string type whose non-empty constants
+// count as explicit, compile-checked algorithm choices.
+package srj
+
+type Algorithm string
+
+const (
+	BBST Algorithm = "bbst"
+	KDS  Algorithm = "kds"
+)
+
+// NormalizeAlgorithm is the single definition of the empty-means-
+// default spelling; the analyzer accepts any call with this name.
+func NormalizeAlgorithm(algo string) string {
+	if algo == "" {
+		return string(BBST)
+	}
+	return algo
+}

@@ -1,0 +1,14 @@
+// Package atomic is a minimal mock of sync/atomic for lint testdata;
+// snapshotmutate matches the Pointer and Value Store methods by the
+// receiver type's import path.
+package atomic
+
+type Pointer[T any] struct{ p *T }
+
+func (p *Pointer[T]) Load() *T   { return p.p }
+func (p *Pointer[T]) Store(v *T) { p.p = v }
+
+type Value struct{ v any }
+
+func (v *Value) Load() any   { return v.v }
+func (v *Value) Store(x any) { v.v = x }

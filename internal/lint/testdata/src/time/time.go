@@ -1,0 +1,14 @@
+// Package time is a minimal mock for lint testdata; rngdeterminism
+// matches time.Now() by the imported package's path.
+package time
+
+type Time struct{}
+
+func Now() Time { return Time{} }
+
+func (Time) Unix() int64     { return 0 }
+func (Time) UnixNano() int64 { return 0 }
+
+type Duration int64
+
+func Since(t Time) Duration { return 0 }

@@ -1,0 +1,18 @@
+// A sentinel-defining package for the sentinelwire testdata: the path
+// segment "core" marks its exported Err* variables as wire-relevant.
+package core
+
+import "errors"
+
+var ErrMapped = errors.New("core: mapped")
+var ErrUnmapped = errors.New("core: unmapped")
+
+// errUnexported is not a candidate: sentinels are exported by
+// definition.
+var errUnexported = errors.New("core: internal detail")
+
+// ErrCount is exported and Err-prefixed but not an error value, so it
+// is not a candidate either.
+var ErrCount = 2
+
+func internalUse() error { return errUnexported }

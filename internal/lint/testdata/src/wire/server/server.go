@@ -1,0 +1,65 @@
+// A wire-tier package for the sentinelwire testdata: it declares
+// CodeFor (so the exhaustiveness check runs here) and its path has the
+// segment "server" (so the %w wrapping check runs here too).
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"wire/core"
+)
+
+const (
+	codeMapped   = "mapped"
+	codeInternal = "internal"
+)
+
+// codeSentinels is the wire table; core.ErrMapped appears,
+// core.ErrUnmapped does not — the exhaustiveness check reports the
+// gap at the CodeFor declaration.
+var codeSentinels = []struct {
+	code string
+	err  error
+}{
+	{codeMapped, core.ErrMapped},
+}
+
+func CodeFor(err error) string { // want `sentinel core\.ErrUnmapped has no entry`
+	for _, cs := range codeSentinels {
+		if errors.Is(err, cs.err) {
+			return cs.code
+		}
+	}
+	return codeInternal
+}
+
+func sentinelFor(code string) error {
+	for _, cs := range codeSentinels {
+		if cs.code == code {
+			return cs.err
+		}
+	}
+	return nil
+}
+
+// handler demonstrates that an errors.Is use outside the wire tables
+// does NOT count as mapping the sentinel (exactly how a sentinel hid
+// from review before this analyzer), and that %v-wrapping an error is
+// flagged while %w is clean.
+func handler(err error) error {
+	if errors.Is(err, core.ErrUnmapped) {
+		return nil
+	}
+	return fmt.Errorf("handling: %v", err) // want `wraps an error without %w`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("handling: %w", err)
+}
+
+// formatted interpolates plain values, no error identity involved:
+// clean.
+func formatted(code string, n int) error {
+	return fmt.Errorf("bad frame %s at %d", code, n)
+}

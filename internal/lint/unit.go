@@ -1,0 +1,277 @@
+package lint
+
+// The `go vet -vettool` unit protocol, reimplemented on the standard
+// library (the x/tools unitchecker is not vendored here). The go
+// command drives a vet tool like this:
+//
+//	tool -V=full            print a version line keyed by the binary,
+//	                        used as the content hash for vet caching
+//	tool -flags             print the tool's flags as JSON so go vet
+//	                        can validate command-line analyzer flags
+//	tool [flags] foo.cfg    analyze one package unit described by the
+//	                        JSON config, writing the facts file the
+//	                        config names and reporting diagnostics on
+//	                        stderr; exit 0 = clean, nonzero = findings
+//
+// The config carries everything needed to type-check the unit
+// without invoking the build system again: the file list, the import
+// map, and the export-data file of every dependency. srjlint's
+// analyzers are all single-package (no cross-package facts), so for
+// fact-only dependency runs (VetxOnly) the driver just writes an
+// empty facts file and exits.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// unitConfig mirrors the JSON the go command writes for each vet
+// unit (cmd/go/internal/work's vetConfig; field names are the wire
+// contract). Unused fields are decoded and ignored.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of cmd/srjlint.
+func Main() {
+	log.SetFlags(0)
+	log.SetPrefix("srjlint: ")
+
+	analyzers := Analyzers()
+	enabled := make(map[string]*bool, len(analyzers))
+	fs := flag.NewFlagSet("srjlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "srjlint checks this repository's serving invariants.")
+		fmt.Fprintln(os.Stderr, "usage: go vet -vettool=$(go env GOPATH)/bin/srjlint ./...   (or any built srjlint path)")
+		fmt.Fprintln(os.Stderr, "analyzers:")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "\n  %s\n	%s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	version := fs.Bool("V", false, "print version and exit (the go command passes -V=full)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (used by go vet)")
+	jsonOut := fs.Bool("json", false, "emit JSON output (accepted for go vet compatibility; plain output is always written)")
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+
+	// -V=full arrives as a value flag; flag.Bool accepts -V but not
+	// -V=full, so intercept it before parsing.
+	args := os.Args[1:]
+	for _, arg := range args {
+		if arg == "-V=full" || arg == "--V=full" {
+			printVersion()
+			return
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	if *version {
+		printVersion()
+		return
+	}
+	if *printFlags {
+		printFlagsJSON(fs)
+		return
+	}
+	_ = jsonOut
+
+	rest := fs.Args()
+	if len(rest) != 1 || !strings.HasSuffix(rest[0], ".cfg") {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var run []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+	os.Exit(runUnit(rest[0], run))
+}
+
+// printVersion emits the version line the go command requires from a
+// vet tool: the binary's base name plus a content hash, so the vet
+// result cache is invalidated whenever the tool changes.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", filepath.Base(exe), h.Sum(nil))
+}
+
+// printFlagsJSON describes the tool's flags in the JSON shape go vet
+// expects from `tool -flags`.
+func printFlagsJSON(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		flags = append(flags, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+// runUnit analyzes one vet unit and returns the process exit code.
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgFile, err)
+	}
+
+	// Dependencies are vetted only for cross-package facts, which
+	// srjlint does not use: satisfy the protocol (the go command
+	// expects the facts file to exist) and skip the work.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [srjlint/%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typeCheck type-checks the unit against its dependencies' export
+// data, resolving import paths through the unit's ImportMap exactly
+// as the compiler did.
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *unitConfig) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	base := importer.ForCompiler(fset, compiler, lookup)
+	imp := &mappedImporter{base: base, importMap: cfg.ImportMap}
+
+	tcfg := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+		Error:    func(error) {}, // collect just the first hard error below
+	}
+	if cfg.GoVersion != "" {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// mappedImporter resolves import paths through the unit's ImportMap
+// before delegating to the export-data importer, and serves "unsafe"
+// directly.
+type mappedImporter struct {
+	base      types.Importer
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.base.Import(path)
+}

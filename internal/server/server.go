@@ -203,9 +203,14 @@ const (
 	CodeSampleCap     = "sample_cap"     // t exceeds a configured cap (engine.ErrSampleCap)
 	CodeEmptyJoin     = "empty_join"     // provably empty join (core.ErrEmptyJoin)
 	CodeLowAcceptance = "low_acceptance" // rejection budget exhausted (core.ErrLowAcceptance)
-	CodeTimeout       = "timeout"        // request deadline exceeded
-	CodeCanceled      = "canceled"       // request context canceled
-	CodeInternal      = "internal"       // anything else
+	// CodeStaleGeneration reports a dataset generation that raced
+	// past the request mid-flight (dynamic.ErrStaleGeneration). The
+	// server retries internally; a client that still sees it can
+	// simply retry — the condition is transient by construction.
+	CodeStaleGeneration = "stale_generation"
+	CodeTimeout         = "timeout"  // request deadline exceeded
+	CodeCanceled        = "canceled" // request context canceled
+	CodeInternal        = "internal" // anything else
 )
 
 // errorResponse is the JSON body of every non-2xx answer.
@@ -228,12 +233,17 @@ func WriteError(w http.ResponseWriter, status int, apiCode string, format string
 func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadKey), errors.Is(err, registry.ErrInvalidKey),
-		errors.Is(err, engine.ErrSampleCap), errors.Is(err, engine.ErrBadRequest):
+		errors.Is(err, engine.ErrSampleCap), errors.Is(err, engine.ErrBadRequest),
+		errors.Is(err, core.ErrNoParallelWithoutReplacement):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrEmptyJoin):
 		// The key is well-formed but the join it names has no pairs
 		// to sample: the request cannot be processed.
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, dynamic.ErrStaleGeneration):
+		// The dataset generation moved mid-request; the state the
+		// client addressed conflicts with the store's. Retryable.
+		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -256,10 +266,17 @@ var codeSentinels = []struct {
 }{
 	{CodeSampleCap, engine.ErrSampleCap},
 	{CodeBadRequest, engine.ErrBadRequest},
+	// A parallel-draw request without replacement is a client mistake
+	// (the combination is unsupported by contract, see
+	// core.ErrNoParallelWithoutReplacement); no serving path draws in
+	// parallel today, but the mapping is declared so the sentinel
+	// cannot silently decay to "internal" if one ever does.
+	{CodeBadRequest, core.ErrNoParallelWithoutReplacement},
 	{CodeBadKey, ErrBadKey},
 	{CodeBadKey, registry.ErrInvalidKey},
 	{CodeEmptyJoin, core.ErrEmptyJoin},
 	{CodeLowAcceptance, core.ErrLowAcceptance},
+	{CodeStaleGeneration, dynamic.ErrStaleGeneration},
 	{CodeTimeout, context.DeadlineExceeded},
 	{CodeCanceled, context.Canceled},
 }

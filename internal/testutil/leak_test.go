@@ -1,0 +1,85 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeTB records what VerifyNoLeaks does to it: the cleanup it
+// registers and any failure it reports. The embedded testing.TB
+// satisfies the interface's unexported method; only the methods
+// VerifyNoLeaks touches are overridden.
+type fakeTB struct {
+	testing.TB
+	cleanups []func()
+	failed   bool
+	msg      string
+}
+
+func (f *fakeTB) Helper()           {}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+func (f *fakeTB) runCleanups() {
+	// Reverse order, as testing does.
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+// TestVerifyNoLeaksDetectsLeak: goroutines still blocked when the
+// cleanup runs must fail the test, with the goroutine dump attached.
+func TestVerifyNoLeaksDetectsLeak(t *testing.T) {
+	fake := &fakeTB{TB: t}
+	VerifyNoLeaks(fake)
+
+	stop := make(chan struct{})
+	var started sync.WaitGroup
+	// More leaked goroutines than the detector's slack allows.
+	for i := 0; i < 5; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			<-stop
+		}()
+	}
+	started.Wait()
+
+	fake.runCleanups()
+	close(stop)
+
+	if !fake.failed {
+		t.Fatal("VerifyNoLeaks did not report blocked goroutines as a leak")
+	}
+	if !strings.Contains(fake.msg, "goroutine leak") {
+		t.Errorf("failure message %q does not name the leak", fake.msg)
+	}
+	if !strings.Contains(fake.msg, "goroutine") || len(fake.msg) < 100 {
+		t.Errorf("failure message carries no goroutine dump:\n%s", fake.msg)
+	}
+}
+
+// TestVerifyNoLeaksCleanRun: goroutines that finish before (or
+// shortly after) the cleanup runs are not leaks — the grace-period
+// poll must absorb them.
+func TestVerifyNoLeaksCleanRun(t *testing.T) {
+	fake := &fakeTB{TB: t}
+	VerifyNoLeaks(fake)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+
+	fake.runCleanups()
+	if fake.failed {
+		t.Fatalf("VerifyNoLeaks reported a leak on a clean run:\n%s", fake.msg)
+	}
+}

@@ -30,6 +30,14 @@ import (
 // empty and acts as a generation probe.
 type Update = dynamic.Update
 
+// ErrStaleGeneration reports a draw that raced a concurrent update:
+// the engine it hit was built for a dataset generation that an
+// applied batch has since retired. Remote callers see it too — the
+// server maps it to wire code "stale_generation" (HTTP 409) — and
+// the fix is the same locally and remotely: retry against the
+// current generation.
+var ErrStaleGeneration = dynamic.ErrStaleGeneration
+
 // StoreOptions tunes a Store; the zero value (or nil) uses the BBST
 // algorithm with seed 0 and the default compaction threshold.
 type StoreOptions struct {
