@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -37,6 +38,7 @@ import (
 
 	srj "repro"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -69,6 +71,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		requests = fs.Int("requests", 100, "serve mode: requests per client")
 		reqT     = fs.Int("reqt", 10000, "serve mode: samples per request")
 		updRate  = fs.Float64("update-rate", 0, "serve mode: fraction of requests that are insert/delete batches instead of draws (0 disables; local mode serves through a mutable Store, remote mode posts /v1/update — which mutates the server-side dataset for the benched key)")
+		metrics  = fs.Bool("metrics", false, "serve mode: dump a Prometheus text-exposition snapshot of the bench's draw metrics after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +91,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			requests:   *requests,
 			reqT:       *reqT,
 			updateRate: *updRate,
+			metrics:    *metrics,
 		}
 		if *remote != "" {
 			// The dataset lives server-side in remote mode, so a
@@ -164,6 +168,35 @@ type serveConfig struct {
 	requests   int
 	reqT       int
 	updateRate float64 // fraction of requests that are update batches
+	metrics    bool    // dump an exposition snapshot after the run
+}
+
+// printLatencyQuantiles reports p50/p95/p99 interpolated from a draw
+// latency histogram; a run too short to fill any bucket prints
+// nothing rather than NaNs.
+func printLatencyQuantiles(stdout io.Writer, snap obs.HistogramSnapshot) {
+	p50, p95, p99 := snap.Quantile(0.50), snap.Quantile(0.95), snap.Quantile(0.99)
+	if math.IsNaN(p50) {
+		return
+	}
+	fmt.Fprintf(stdout, "latency quantiles: p50 %v, p95 %v, p99 %v\n",
+		time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(p95*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(p99*float64(time.Second)).Round(time.Microsecond))
+}
+
+// dumpExposition renders the bench's own draw metrics in the same
+// Prometheus text shape srjserver's GET /metrics serves, so the
+// output pastes straight into exposition-aware tooling.
+func dumpExposition(stdout io.Writer, algo string, snap obs.HistogramSnapshot, samples uint64) {
+	m := obs.NewMetricSet()
+	label := obs.L(obs.LabelAlgorithm, algo)
+	m.Histogram(obs.MetricDrawDuration, "Draw latency as observed by srjbench.", snap, label)
+	m.Counter(obs.MetricDrawSamples, "Join samples drawn by srjbench.", float64(samples), label)
+	fmt.Fprintln(stdout, "--- metrics snapshot ---")
+	if _, err := m.WriteTo(stdout); err != nil {
+		fmt.Fprintf(stdout, "warning: metrics snapshot failed: %v\n", err)
+	}
 }
 
 // hammer fans clients goroutines out, each issuing requests calls of
@@ -220,6 +253,7 @@ func runMixed(ctx context.Context, stdout io.Writer, cfg serveConfig, src srj.So
 	}
 	var draws, drawSamples, updates, updateOps atomic.Int64
 	var lastGen atomic.Uint64
+	hist := obs.NewHistogram(obs.DrawDurationBuckets)
 	domain := 10_000.0
 	start := time.Now()
 	err := hammer(ctx, cfg.clients, cfg.requests, func(client, _ int) error {
@@ -231,8 +265,10 @@ func runMixed(ctx context.Context, stdout io.Writer, cfg serveConfig, src srj.So
 		}
 		st := states[client]
 		if st.rng.Float64() >= cfg.updateRate {
+			drawStart := time.Now()
 			err := src.DrawFunc(reqCtx, srj.Request{T: cfg.reqT}, func([]srj.Pair) error { return nil })
 			if err == nil {
+				hist.Observe(time.Since(drawStart).Seconds())
 				draws.Add(1)
 				drawSamples.Add(int64(cfg.reqT))
 			}
@@ -283,6 +319,10 @@ func runMixed(ctx context.Context, stdout io.Writer, cfg serveConfig, src srj.So
 		elapsed.Round(time.Millisecond), draws.Load(), drawSamples.Load(), updates.Load(), updateOps.Load(), lastGen.Load())
 	fmt.Fprintf(stdout, "throughput: %.3g samples/sec alongside %.1f updates/sec\n",
 		float64(drawSamples.Load())/elapsed.Seconds(), float64(updates.Load())/elapsed.Seconds())
+	printLatencyQuantiles(stdout, hist.Snapshot())
+	if cfg.metrics {
+		dumpExposition(stdout, string(cfg.algo), hist.Snapshot(), uint64(drawSamples.Load()))
+	}
 	return nil
 }
 
@@ -380,6 +420,10 @@ func runServe(ctx context.Context, stdout io.Writer, cfg serveConfig) error {
 		engineRate, float64(st.Requests)/elapsed.Seconds())
 	fmt.Fprintf(stdout, "latency: avg %v, max %v\n",
 		st.AvgLatency().Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))
+	printLatencyQuantiles(stdout, st.Latency)
+	if cfg.metrics {
+		dumpExposition(stdout, string(cfg.algo), st.Latency, st.Samples)
+	}
 
 	// Rebuild-per-request baseline at the same concurrency: every
 	// request pays the full build-count-sample pipeline, as a service
@@ -573,11 +617,19 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 
 	fmt.Fprintf(stdout, "%d clients x %d requests x %d samples/request\n",
 		cfg.clients, cfg.requests, cfg.reqT)
+	// Client-observed latency: the wire round trip, not just the
+	// server-side draw — the number a real client of this fleet sees.
+	hist := obs.NewHistogram(obs.DrawDurationBuckets)
 	start := time.Now()
 	if err := hammer(ctx, cfg.clients, cfg.requests, func(_, _ int) error {
 		reqCtx, cancel := context.WithTimeout(ctx, requestTimeout)
 		defer cancel()
-		return src.DrawFunc(reqCtx, srj.Request{T: cfg.reqT}, func([]srj.Pair) error { return nil })
+		reqStart := time.Now()
+		err := src.DrawFunc(reqCtx, srj.Request{T: cfg.reqT}, func([]srj.Pair) error { return nil })
+		if err == nil {
+			hist.Observe(time.Since(reqStart).Seconds())
+		}
+		return err
 	}); err != nil {
 		return err
 	}
@@ -588,6 +640,10 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 	fmt.Fprintf(stdout, "served %d requests (%d samples) in %v\n", nRequests, nSamples, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(stdout, "cached-engine throughput: %.3g samples/sec, %.1f requests/sec\n",
 		cachedRate, float64(nRequests)/elapsed.Seconds())
+	printLatencyQuantiles(stdout, hist.Snapshot())
+	if cfg.metrics {
+		dumpExposition(stdout, string(cfg.algo), hist.Snapshot(), uint64(nSamples))
+	}
 
 	// Rebuild-per-request baseline: a distinct seed per request is a
 	// distinct registry key, so the server pays a full preprocessing

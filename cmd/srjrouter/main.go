@@ -21,7 +21,10 @@
 // srjserver's shape), GET/DELETE /v1/engines (concatenated list /
 // broadcast eviction), GET /healthz (200 while any backend answers) —
 // plus GET /v1/router for routing stats (per-backend health and
-// counters, per-key shard assignments).
+// counters, per-key shard assignments) and GET /metrics (Prometheus
+// text exposition; -pprof additionally mounts /debug/pprof/).
+// -log-level info enables structured JSON access logs with request
+// IDs; failovers log at warn.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -52,8 +56,14 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		backends = fs.String("backends", "", "comma-separated srjserver base URLs (or pass them as arguments)")
 		vnodes   = fs.Int("vnodes", 0, "virtual nodes per backend on the hash ring (0 = default 64)")
 		probe    = fs.Duration("probe-interval", 0, "backend /healthz probe cadence (0 = default 5s, negative disables)")
+		pprof    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel = fs.String("log-level", "warn", "structured log level: debug, info, warn, error, off")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := buildLogger(*logLevel, stdout)
+	if err != nil {
 		return err
 	}
 	var list []string
@@ -67,7 +77,12 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		return fmt.Errorf("no backends: pass -backends or list srjserver URLs as arguments")
 	}
 
-	rt, err := srj.NewRouter(list, srj.RouterOptions{VNodes: *vnodes, ProbeInterval: *probe})
+	rt, err := srj.NewRouter(list, srj.RouterOptions{
+		VNodes:        *vnodes,
+		ProbeInterval: *probe,
+		Logger:        logger,
+		EnablePprof:   *pprof,
+	})
 	if err != nil {
 		return err
 	}
@@ -108,6 +123,28 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		defer cancel()
 		return hs.Shutdown(shutdownCtx)
 	}
+}
+
+// buildLogger returns the process logger writing JSON lines to w at
+// the requested level, nil for "off", or an error for an unknown
+// level name.
+func buildLogger(levelFlag string, w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(levelFlag) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("-log-level must be debug, info, warn, error, or off; got %q", levelFlag)
+	}
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})), nil
 }
 
 func main() {

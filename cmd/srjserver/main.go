@@ -22,7 +22,11 @@
 // current generation, so deleted points are never served.
 //
 // API (see internal/server): POST /v1/sample, POST /v1/update,
-// GET /v1/stats, GET /v1/engines, GET /healthz.
+// GET /v1/stats, GET /v1/engines, GET /healthz, GET /metrics
+// (Prometheus text exposition; -pprof additionally mounts
+// /debug/pprof). -slow-draw logs outlier draws at Warn with the
+// request ID, key, generation, and acceptance rate; -log-level tunes
+// the structured log.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -55,6 +60,9 @@ type config struct {
 	timeout  time.Duration
 	load     string
 	warm     string
+	slowDraw time.Duration
+	pprof    bool
+	logLevel string
 }
 
 // parseFlags reads the command line into a config.
@@ -70,7 +78,13 @@ func parseFlags(args []string, stdout io.Writer) (*config, error) {
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline, engine build included")
 	fs.StringVar(&cfg.load, "load", "", "comma-separated name=path point files served as datasets (split 50/50 into R and S)")
 	fs.StringVar(&cfg.warm, "warm", "", "semicolon-separated dataset:l[:algorithm[:seed]] engines to prebuild")
+	fs.DurationVar(&cfg.slowDraw, "slow-draw", 0, "log draws slower than this at Warn with full attribution (0 = off)")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fs.StringVar(&cfg.logLevel, "log-level", "warn", "structured log level: debug, info, warn, error, or off")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if _, err := parseLogLevel(cfg.logLevel); err != nil {
 		return nil, err
 	}
 	if cfg.budgetMB < 0 {
@@ -84,8 +98,36 @@ func parseFlags(args []string, stdout io.Writer) (*config, error) {
 	return cfg, nil
 }
 
+// parseLogLevel maps the -log-level flag onto a slog level; "off"
+// returns ok=false with no error, disabling the logger entirely.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	case "off":
+		return slog.LevelError + 4, nil
+	}
+	return 0, fmt.Errorf("-log-level must be debug, info, warn, error, or off; got %q", s)
+}
+
+// buildLogger returns the process logger writing JSON lines to w at
+// the configured level, or nil for "off".
+func buildLogger(levelFlag string, w io.Writer) *slog.Logger {
+	level, err := parseLogLevel(levelFlag)
+	if err != nil || levelFlag == "off" {
+		return nil
+	}
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
 // buildServer assembles the srj.Server a config describes.
-func buildServer(cfg *config) (*srj.Server, error) {
+func buildServer(cfg *config, logger *slog.Logger) (*srj.Server, error) {
 	loaded := map[string][2][]srj.Point{}
 	if cfg.load != "" {
 		for _, spec := range strings.Split(cfg.load, ",") {
@@ -111,6 +153,9 @@ func buildServer(cfg *config) (*srj.Server, error) {
 		MemoryBudget: budget,
 		MaxT:         cfg.maxT,
 		Timeout:      cfg.timeout,
+		Logger:       logger,
+		SlowDraw:     cfg.slowDraw,
+		EnablePprof:  cfg.pprof,
 	}
 	if len(loaded) > 0 {
 		builtin := srj.BuiltinDatasets(cfg.n, cfg.dseed)
@@ -175,7 +220,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 	if err != nil {
 		return err
 	}
-	srv, err := buildServer(cfg)
+	srv, err := buildServer(cfg, buildLogger(cfg.logLevel, stdout))
 	if err != nil {
 		return err
 	}

@@ -41,7 +41,7 @@ func TestParseWarm(t *testing.T) {
 
 func TestBuildServerBadFlags(t *testing.T) {
 	for _, load := range []string{"noequals", "=path", "name=", "x=/does/not/exist"} {
-		if _, err := buildServer(&config{n: 100, dseed: 1, load: load, maxT: 100}); err == nil {
+		if _, err := buildServer(&config{n: 100, dseed: 1, load: load, maxT: 100}, nil); err == nil {
 			t.Errorf("-load %q accepted", load)
 		}
 	}

@@ -196,6 +196,11 @@ type Store struct {
 	lastRebuildErr error
 	acc            engine.Stats // counters of retired view engines
 
+	// rebuilds counts base rebuilds that swapped in successfully
+	// (background compactions and explicit Compact calls alike). It
+	// backs srj_store_rebuilds_total and never decreases.
+	rebuilds atomic.Uint64
+
 	// testHookSwap, when set (by tests, before serving), runs under mu
 	// immediately after every view swap — the in-lock invariant hook
 	// of the race hammer.
@@ -509,6 +514,7 @@ func (st *Store) swapLocked(nv *view) {
 func addStats(a, b engine.Stats) engine.Stats {
 	a.Requests += b.Requests
 	a.Samples += b.Samples
+	a.Trials += b.Trials
 	a.Failures += b.Failures
 	a.ClientFailures += b.ClientFailures
 	a.SamplerFailures += b.SamplerFailures
@@ -516,6 +522,7 @@ func addStats(a, b engine.Stats) engine.Stats {
 	if b.MaxLatency > a.MaxLatency {
 		a.MaxLatency = b.MaxLatency
 	}
+	a.Latency = a.Latency.Merge(b.Latency)
 	return a
 }
 
@@ -581,6 +588,7 @@ func (st *Store) rebuild(v *view, snap int, done chan struct{}) {
 	}
 	st.lastRebuildErr = nil
 	st.log = append([]Update(nil), pending...)
+	st.rebuilds.Add(1)
 	st.swapLocked(nv)
 	// The pending tail can itself exceed the threshold under heavy
 	// write load; check once so compaction keeps up.
@@ -719,6 +727,27 @@ func (st *Store) SizeBytes() int {
 // Pending reports the buffered mutation count of the current view —
 // the numerator of the rebuild threshold.
 func (st *Store) Pending() int { return st.view.Load().deltaOps() }
+
+// Rebuilds reports how many base rebuilds have swapped in since the
+// store was created.
+func (st *Store) Rebuilds() uint64 { return st.rebuilds.Load() }
+
+// DeltaFraction reports buffered mutations relative to the current
+// base size — the rebuild threshold's own ratio, exported as the
+// srj_store_delta_fraction gauge. An empty base with pending ops
+// reports 1.
+func (st *Store) DeltaFraction() float64 {
+	v := st.view.Load()
+	delta := v.deltaOps()
+	if delta == 0 {
+		return 0
+	}
+	baseN := len(v.baseR) + len(v.baseS)
+	if baseN == 0 {
+		return 1
+	}
+	return float64(delta) / float64(baseN)
+}
 
 // LastRebuildErr reports the most recent background rebuild failure
 // (nil after a successful swap). Rebuild failures never tear down

@@ -2,9 +2,11 @@ package dynamic
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/registry"
 )
 
@@ -119,4 +121,60 @@ func (s *Stores) Apply(ctx context.Context, key registry.Key, u Update) (uint64,
 		return 0, err
 	}
 	return st.Apply(ctx, u)
+}
+
+// StoreInfo is the observable state of one live store, served on
+// /v1/stats (per-key detail lives here on the JSON surface; /metrics
+// exports only key-free aggregates to keep label cardinality bounded).
+type StoreInfo struct {
+	// Key identifies the store (generation always zero — the live
+	// generation is the Generation field).
+	Key registry.Key `json:"key"`
+	// Backend is empty on a server's own stats; the router fills it
+	// when aggregating fleet stats per backend.
+	Backend       string       `json:"backend,omitempty"`
+	Generation    uint64       `json:"generation"`
+	DeltaFraction float64      `json:"delta_fraction"`
+	PendingOps    int          `json:"pending_ops"`
+	Rebuilds      uint64       `json:"rebuilds"`
+	SizeBytes     int          `json:"size_bytes"`
+	Engine        engine.Stats `json:"engine"`
+}
+
+// Infos snapshots every created store. Stores mid-creation are not
+// yet visible (same non-blocking contract as Lookup).
+func (s *Stores) Infos() []StoreInfo {
+	s.mu.Lock()
+	// Indexed writes, then sort: this package is under the
+	// rngdeterminism contract, so map iteration must not feed an
+	// order-dependent append.
+	keys := make([]registry.Key, len(s.m))
+	i := 0
+	for key := range s.m {
+		keys[i] = key
+		i++
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].String() < keys[b].String() })
+	entries := make([]*storeEntry, len(keys))
+	for j, key := range keys {
+		entries[j] = s.m[key]
+	}
+	s.mu.Unlock()
+	out := make([]StoreInfo, 0, len(entries))
+	for j, e := range entries {
+		st := e.st.Load()
+		if st == nil {
+			continue
+		}
+		out = append(out, StoreInfo{
+			Key:           keys[j],
+			Generation:    st.Generation(),
+			DeltaFraction: st.DeltaFraction(),
+			PendingOps:    st.Pending(),
+			Rebuilds:      st.Rebuilds(),
+			SizeBytes:     st.SizeBytes(),
+			Engine:        st.Stats(),
+		})
+	}
+	return out
 }

@@ -15,12 +15,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // DefaultBatch is the pooled buffer size SampleFunc streams through:
@@ -135,10 +137,17 @@ type Stats struct {
 	// exhausted). A monitoring system should alert on these — they
 	// indicate a degenerate dataset/window, not a misbehaving client.
 	SamplerFailures uint64 `json:"sampler_failures"`
+	// Trials counts sampling iterations including rejections, summed
+	// across requests. Samples/Trials is the observed acceptance rate
+	// — the paper's load-bearing performance signal.
+	Trials uint64 `json:"trials"`
 	// TotalLatency is the summed request latency.
 	TotalLatency time.Duration `json:"total_latency_ns"`
 	// MaxLatency is the slowest single request.
 	MaxLatency time.Duration `json:"max_latency_ns"`
+	// Latency is the full request-latency distribution over the
+	// shared obs.DrawDurationBuckets, one observation per request.
+	Latency obs.HistogramSnapshot `json:"latency"`
 }
 
 // AvgLatency returns the mean request latency.
@@ -147,6 +156,15 @@ func (s Stats) AvgLatency() time.Duration {
 		return 0
 	}
 	return s.TotalLatency / time.Duration(s.Requests)
+}
+
+// AcceptanceRate returns accepted samples over total sampling trials,
+// or NaN before any trial ran.
+func (s Stats) AcceptanceRate() float64 {
+	if s.Trials == 0 {
+		return math.NaN()
+	}
+	return float64(s.Samples) / float64(s.Trials)
 }
 
 // Engine serves concurrent sampling requests against join structures
@@ -163,10 +181,16 @@ type Engine struct {
 
 	requests    atomic.Uint64
 	samples     atomic.Uint64
+	trials      atomic.Uint64
 	clientFails atomic.Uint64
 	samplerFail atomic.Uint64
 	latencyNS   atomic.Int64
 	maxNS       atomic.Int64
+
+	// hist observes full-request latency — exactly once per request,
+	// in record, never inside the per-trial rejection loop (per-trial
+	// clock reads measurably slowed the sampler; see internal/core).
+	hist *obs.Histogram
 }
 
 // New prepares parent through Count — the only time the grid, corner
@@ -182,7 +206,12 @@ func New(parent core.Cloner, seed uint64) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{pool: pool, name: parent.Name(), size: parent.SizeBytes()}
+	e := &Engine{
+		pool: pool,
+		name: parent.Name(),
+		size: parent.SizeBytes(),
+		hist: obs.NewHistogram(obs.DrawDurationBuckets),
+	}
 	e.buffers.New = func() any {
 		buf := make([]geom.Pair, DefaultBatch)
 		return &buf
@@ -273,6 +302,7 @@ func (e *Engine) drawInto(ctx context.Context, start time.Time, seed uint64, dst
 		e.record(start, 0, err)
 		return 0, err
 	}
+	trialsBefore := s.Stats().Iterations
 	drawn := 0
 	for drawn < len(dst) && err == nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -287,6 +317,7 @@ func (e *Engine) drawInto(ctx context.Context, start time.Time, seed uint64, dst
 		n, err = core.SampleInto(s, dst[drawn:end])
 		drawn += n
 	}
+	e.trials.Add(s.Stats().Iterations - trialsBefore)
 	e.pool.Put(s)
 	e.record(start, drawn, err)
 	return drawn, err
@@ -320,6 +351,7 @@ func (e *Engine) DrawFunc(ctx context.Context, req Request, fn func(batch []geom
 		e.record(start, 0, err)
 		return err
 	}
+	trialsBefore := s.Stats().Iterations
 	buf := e.buffers.Get().(*[]geom.Pair)
 	drawn := 0
 	for drawn < t && err == nil {
@@ -340,6 +372,7 @@ func (e *Engine) DrawFunc(ctx context.Context, req Request, fn func(batch []geom
 			}
 		}
 	}
+	e.trials.Add(s.Stats().Iterations - trialsBefore)
 	e.buffers.Put(buf)
 	e.pool.Put(s)
 	e.record(start, drawn, err)
@@ -400,6 +433,7 @@ func (e *Engine) record(start time.Time, samples int, err error) {
 		}
 	}
 	e.latencyNS.Add(int64(lat))
+	e.hist.Observe(lat.Seconds())
 	for {
 		cur := e.maxNS.Load()
 		if int64(lat) <= cur || e.maxNS.CompareAndSwap(cur, int64(lat)) {
@@ -417,10 +451,12 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Requests:        e.requests.Load(),
 		Samples:         e.samples.Load(),
+		Trials:          e.trials.Load(),
 		Failures:        client + sampler,
 		ClientFailures:  client,
 		SamplerFailures: sampler,
 		TotalLatency:    time.Duration(e.latencyNS.Load()),
 		MaxLatency:      time.Duration(e.maxNS.Load()),
+		Latency:         e.hist.Snapshot(),
 	}
 }

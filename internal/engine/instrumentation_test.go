@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// TestInstrumentationOverhead is the observability layer's budget
+// guard: the per-request instrumentation a Draw pays — one histogram
+// Observe, the trials delta, the latency/sample atomics — must stay
+// far under 2% of even a small warm draw. The histogram observation
+// sits OUTSIDE the per-trial rejection loop by design; if someone
+// moves clock reads or atomics inside it, the per-draw cost explodes
+// and this test catches it long before a benchmark diff would.
+func TestInstrumentationOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	e, _ := newTestEngine(t, 7)
+	if err := e.Warm(1); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const reqT = 1000
+	dst := make([]geom.Pair, reqT)
+	// Warm-up draws so the clone pool and caches settle.
+	for i := 0; i < 10; i++ {
+		if _, err := e.Draw(ctx, Request{Into: dst}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const rounds = 200
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := e.Draw(ctx, Request{Into: dst}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perDraw := time.Since(start) / rounds
+
+	// The instrumentation alone, at the same call rate: what record()
+	// and the trials accounting add per finished request.
+	hist := obs.NewHistogram(obs.DrawDurationBuckets)
+	var trials, samples, latency int64
+	start = time.Now()
+	for i := 0; i < rounds; i++ {
+		lat := time.Duration(i) * time.Microsecond
+		hist.Observe(lat.Seconds())
+		trials += int64(reqT) * 2
+		samples += int64(reqT)
+		latency += int64(lat)
+	}
+	perObs := time.Since(start) / rounds
+	_ = trials + samples + latency
+
+	if perObs*50 > perDraw {
+		t.Errorf("instrumentation %v per request exceeds 2%% of a %v draw", perObs, perDraw)
+	}
+}

@@ -78,6 +78,7 @@ func Analyzers() []*Analyzer {
 		SentinelWire,
 		KeyNormalize,
 		SnapshotMutate,
+		MetricLabel,
 	}
 }
 

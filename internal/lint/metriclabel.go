@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricLabel enforces the bounded-cardinality contract of the obs
+// metric taxonomy: label values must come from bounded sets
+// (algorithm names, outcome codes, backend addresses fixed at
+// construction) — never from request input. A dataset key or a
+// stringified registry.Key as a label value mints one time series per
+// distinct request, which is how a Prometheus scrape target grows
+// until the scraper falls over. The obs package itself is exempt: it
+// moves label values around generically, it does not choose them.
+//
+// Flagged label-value sources: any selector named Dataset, any
+// expression of registry.Key type (so key.String() and fmt.Sprint(key)
+// are both caught), and any field of a *Request type other than
+// Algorithm. Checked sinks: obs.L's value argument, obs.Label
+// composite literals, and the label argument of CounterVec.Add/Inc
+// and HistogramVec.With/Observe.
+var MetricLabel = &Analyzer{
+	Name: "metriclabel",
+	Doc: "metriclabel flags metric label values drawn from unbounded sources " +
+		"(dataset keys, registry.Key strings, request fields): each distinct " +
+		"value mints a new time series, so label sets must stay bounded.",
+	Run: runMetricLabel,
+}
+
+func runMetricLabel(pass *Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkLabelCall(pass, n)
+			case *ast.CompositeLit:
+				checkLabelLiteral(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLabelCall inspects the label-value argument of the obs
+// package's label-accepting calls: L(name, value), and the vec
+// methods keyed by a label value (Add, Inc, With, Observe).
+func checkLabelCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return
+	}
+	switch obj.Name() {
+	case "L":
+		if len(call.Args) >= 2 {
+			checkLabelValue(pass, call.Args[1])
+		}
+	case "Add", "Inc", "With", "Observe":
+		if isVecMethod(obj) && len(call.Args) >= 1 {
+			checkLabelValue(pass, call.Args[0])
+		}
+	}
+}
+
+// isVecMethod reports whether obj is a method of CounterVec or
+// HistogramVec — the obs types keyed by a label value. Histogram also
+// has an Observe, but its argument is the observation, not a label.
+func isVecMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "CounterVec" || name == "HistogramVec"
+}
+
+// checkLabelLiteral inspects obs.Label composite literals: the Value
+// element is a label value however the Label was built.
+func checkLabelLiteral(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Label" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "obs" {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Value" {
+			checkLabelValue(pass, kv.Value)
+		}
+	}
+}
+
+// checkLabelValue walks one label-value expression and reports every
+// unbounded source in it. An .Algorithm selector is bounded (the
+// algorithm set is closed) and vouches for its whole subtree.
+func checkLabelValue(pass *Pass, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if sel, ok := expr.(*ast.SelectorExpr); ok {
+			switch {
+			case sel.Sel.Name == "Algorithm":
+				return false // bounded: the algorithm set is closed
+			case sel.Sel.Name == "Dataset":
+				pass.Reportf(sel.Pos(), "metric label value from a Dataset field: dataset names are unbounded request input, use a bounded label or drop it")
+				return false
+			case isRequestField(pass, sel):
+				pass.Reportf(sel.Pos(), "metric label value from a request field: request input is unbounded, use a bounded label or drop it")
+				return false
+			}
+		}
+		if tv, ok := pass.TypesInfo.Types[expr]; ok && isRegistryKeyType(tv.Type) {
+			pass.Reportf(expr.Pos(), "metric label value derived from a registry.Key: keys embed the dataset name, so each key mints a new time series")
+			return false
+		}
+		return true
+	})
+}
+
+// isRequestField reports whether sel reads a field of a named type
+// ending in "Request" (SampleRequest, UpdateRequest, ...): request
+// payloads carry client-chosen values.
+func isRequestField(pass *Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return len(name) >= len("Request") && name[len(name)-len("Request"):] == "Request"
+}

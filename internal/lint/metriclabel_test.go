@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestMetricLabel(t *testing.T) {
+	linttest.Run(t, "testdata", "metricuser", lint.MetricLabel)
+}
+
+// TestMetricLabelObsExempt: the obs package moves label values around
+// generically (render, parse, vec plumbing) without choosing them, so
+// it is exempt.
+func TestMetricLabelObsExempt(t *testing.T) {
+	linttest.Run(t, "testdata", "obs", lint.MetricLabel)
+}

@@ -1,0 +1,65 @@
+// Flagged and clean metric-label constructions for the metriclabel
+// analyzer.
+package metricuser
+
+import (
+	"obs"
+	"registry"
+)
+
+// SampleRequest stands in for the serving tiers' request payloads:
+// every field is client-chosen.
+type SampleRequest struct {
+	Dataset   string
+	Algorithm string
+	T         int
+}
+
+// labelFromDataset puts a dataset name on a label: flagged — one
+// series per dataset the clients ever name.
+func labelFromDataset(req SampleRequest) obs.Label {
+	return obs.L("dataset", req.Dataset) // want `Dataset field`
+}
+
+// labelFromKeyString stringifies a whole key: flagged — the key
+// embeds the dataset name.
+func labelFromKeyString(key registry.Key) obs.Label {
+	return obs.L("key", key.String()) // want `derived from a registry.Key`
+}
+
+// literalFromDataset builds the Label directly: same rule, same flag.
+func literalFromDataset(req SampleRequest) obs.Label {
+	return obs.Label{Name: "dataset", Value: req.Dataset} // want `Dataset field`
+}
+
+// vecKeyedByDataset keys a counter by dataset: flagged.
+func vecKeyedByDataset(c *obs.CounterVec, req SampleRequest) {
+	c.Inc(req.Dataset) // want `Dataset field`
+}
+
+// vecKeyedByKey keys a histogram by stringified key: flagged.
+func vecKeyedByKey(h *obs.HistogramVec, key registry.Key) {
+	h.Observe(key.String(), 1.5) // want `derived from a registry.Key`
+}
+
+// labelFromRequestField labels by a client-chosen request field that
+// is neither Dataset nor Algorithm: flagged.
+func labelFromRequestField(req SampleRequest, render func(int) string) obs.Label {
+	return obs.L("t", render(req.T)) // want `request field`
+}
+
+// labelFromAlgorithm is clean: the algorithm set is closed, even when
+// the selector reads through a request or a key.
+func labelFromAlgorithm(req SampleRequest, key registry.Key, c *obs.CounterVec) {
+	_ = obs.L("algorithm", req.Algorithm)
+	_ = obs.L("algorithm", key.Algorithm)
+	c.Inc(key.Algorithm)
+}
+
+// boundedLabels are clean: literals, plain locals, and non-vec
+// Observe calls are out of scope.
+func boundedLabels(c *obs.CounterVec, h *obs.Histogram, code string) {
+	_ = obs.L("code", "ok")
+	c.Inc(code)
+	h.Observe(1.5)
+}

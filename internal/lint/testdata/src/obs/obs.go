@@ -1,0 +1,26 @@
+// Package obs mocks the observability package for the metriclabel
+// testdata: the analyzer matches Label, L, and the vec methods by
+// name and defining package name. The package itself is exempt — it
+// moves label values around generically, it does not choose them.
+package obs
+
+type Label struct {
+	Name  string
+	Value string
+}
+
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+type CounterVec struct{}
+
+func (c *CounterVec) Add(value string, delta uint64) {}
+func (c *CounterVec) Inc(value string)               {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type HistogramVec struct{}
+
+func (h *HistogramVec) With(value string) *Histogram    { return &Histogram{} }
+func (h *HistogramVec) Observe(value string, v float64) {}

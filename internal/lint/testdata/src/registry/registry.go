@@ -12,6 +12,10 @@ type Key struct {
 	Seed      uint64
 }
 
+// String renders the key, dataset name included — which is exactly
+// why the metriclabel analyzer rejects it as a metric label value.
+func (k Key) String() string { return k.Dataset }
+
 // Canonical mints a key with a raw algorithm string: exempt inside
 // the defining package.
 func Canonical() Key {

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DrawDurationBuckets covers draw latency from "engine already warm,
+// trivial T" (~50µs) through "cold build ahead of the draw" (~10s),
+// roughly ×2.5 per step. Both tiers use the same bounds so router and
+// server histograms aggregate.
+var DrawDurationBuckets = []float64{
+	50e-6, 125e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// BuildDurationBuckets covers registry engine builds: index
+// construction over millions of points runs tens of milliseconds to
+// minutes.
+var BuildDurationBuckets = []float64{
+	10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram is a fixed-bucket, lock-free latency accumulator. One
+// Observe per finished request is the intended write rate — cheap
+// enough for the serving path (a binary search over ~17 bounds plus
+// two atomic adds), but still too expensive for the per-trial
+// rejection loop, which stays uninstrumented.
+type Histogram struct {
+	bounds []float64
+	// counts has one slot per bound plus a final +Inf slot. Slots are
+	// per-bucket (not cumulative); rendering accumulates.
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	// sumBits accumulates the float64 sum via CAS on its bit pattern.
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// upper bounds. The bounds slice is retained; callers pass the shared
+// package-level bucket vars.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy. Concurrent Observes may be
+// torn across count/sum (a snapshot is not a linearization point),
+// which is fine for monitoring: every individual field is monotone.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)-1),
+	}
+	var seen uint64
+	for i := range s.Counts {
+		s.Counts[i] = h.counts[i].Load()
+		seen += s.Counts[i]
+	}
+	seen += h.counts[len(h.counts)-1].Load()
+	s.Count = seen
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// HistogramSnapshot is an immutable histogram state: per-bucket (not
+// cumulative) counts for each bound, plus total count (including the
+// implicit +Inf bucket) and sum. It marshals into stats JSON and
+// renders into exposition format.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Merge combines two snapshots over identical bounds (the usual case:
+// every srj histogram uses a shared package-level bucket var). If the
+// bounds differ, the receiver's bucket detail is dropped and only
+// Sum/Count aggregate — counts stay consistent, resolution degrades.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Sum:   s.Sum + o.Sum,
+		Count: s.Count + o.Count,
+	}
+	if len(s.Bounds) == 0 {
+		out.Bounds, out.Counts = o.Bounds, append([]uint64(nil), o.Counts...)
+		return out
+	}
+	if len(o.Bounds) == 0 || !sameBounds(s.Bounds, o.Bounds) {
+		out.Bounds, out.Counts = s.Bounds, append([]uint64(nil), s.Counts...)
+		return out
+	}
+	out.Bounds = s.Bounds
+	out.Counts = make([]uint64, len(s.Counts))
+	for i := range out.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the containing bucket — the same estimate
+// Prometheus's histogram_quantile computes. Returns NaN for an empty
+// snapshot; observations beyond the last bound clamp to it.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		if float64(cum+c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			upper := s.Bounds[i]
+			if c == 0 {
+				return upper
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + frac*(upper-lower)
+		}
+		cum += c
+	}
+	// Rank falls in the +Inf bucket: the best bounded estimate is the
+	// largest finite bound.
+	return s.Bounds[len(s.Bounds)-1]
+}

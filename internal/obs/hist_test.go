@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObservePlacement(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.3, 0.9, 2} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.05 and 0.1 land in le=0.1 (bounds are inclusive upper), 0.3 in
+	// le=0.5, 0.9 in le=1, and 2 in the implicit +Inf bucket.
+	want := []uint64{2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5 (must include the +Inf bucket)", s.Count)
+	}
+	if got, want := s.Sum, 0.05+0.1+0.3+0.9+2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramBoundsMustAscend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram accepted non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DrawDurationBuckets)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g+1) * 1e-4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*per)
+	}
+	var sum float64
+	for g := 0; g < goroutines; g++ {
+		sum += float64(g+1) * 1e-4 * per
+	}
+	if math.Abs(s.Sum-sum) > 1e-9 {
+		t.Errorf("Sum = %g, want %g", s.Sum, sum)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	empty := HistogramSnapshot{}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty snapshot must yield NaN")
+	}
+	// 10 observations uniformly inside (0, 1]: bucket (0,1] holds all,
+	// so the median interpolates to 0.5.
+	s := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{10, 0}, Count: 10}
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("p50 = %g, want 0.5", got)
+	}
+	// Everything beyond the last bound clamps to it.
+	inf := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0}, Count: 5}
+	if got := inf.Quantile(0.99); got != 1 {
+		t.Errorf("+Inf-bucket quantile = %g, want clamp to last bound 1", got)
+	}
+	if !math.IsNaN(s.Quantile(-0.1)) || !math.IsNaN(s.Quantile(1.1)) {
+		t.Error("out-of-range q must yield NaN")
+	}
+}
+
+func TestMergeSameBounds(t *testing.T) {
+	a := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{1, 2}, Sum: 3, Count: 4}
+	b := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{10, 20}, Sum: 30, Count: 40}
+	m := a.Merge(b)
+	if m.Counts[0] != 11 || m.Counts[1] != 22 || m.Sum != 33 || m.Count != 44 {
+		t.Errorf("merge = %+v", m)
+	}
+}
+
+func TestMergeDifferingBounds(t *testing.T) {
+	a := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{1}, Sum: 1, Count: 2}
+	b := HistogramSnapshot{Bounds: []float64{5}, Counts: []uint64{7}, Sum: 9, Count: 11}
+	m := a.Merge(b)
+	// Resolution degrades to the receiver's bounds, but the totals
+	// must still aggregate.
+	if m.Sum != 10 || m.Count != 13 {
+		t.Errorf("merge totals = sum %g count %d, want 10/13", m.Sum, m.Count)
+	}
+	if len(m.Bounds) != 1 || m.Bounds[0] != 1 || m.Counts[0] != 1 {
+		t.Errorf("merge kept wrong detail: %+v", m)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	b := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{3}, Sum: 2, Count: 3}
+	m := (HistogramSnapshot{}).Merge(b)
+	if m.Count != 3 || m.Sum != 2 || len(m.Counts) != 1 || m.Counts[0] != 3 {
+		t.Errorf("zero.Merge(b) = %+v, want b", m)
+	}
+	m2 := b.Merge(HistogramSnapshot{})
+	if m2.Count != 3 || m2.Sum != 2 || m2.Counts[0] != 3 {
+		t.Errorf("b.Merge(zero) = %+v, want b", m2)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenSet builds the fixed MetricSet testdata/golden.prom renders.
+func goldenSet() *MetricSet {
+	m := NewMetricSet()
+	m.Counter(MetricRequests, "API requests by outcome code.", 3, L(LabelCode, "ok"))
+	m.Counter(MetricRequests, "API requests by outcome code.", 2, L(LabelCode, "bad_request"))
+	m.Gauge(MetricRegistryEntries, "Resident engines.", 2)
+	m.Histogram(MetricDrawDuration, "Draw latency.",
+		HistogramSnapshot{Bounds: []float64{0.1, 0.5}, Counts: []uint64{1, 2}, Sum: 1.4, Count: 4},
+		L(LabelAlgorithm, "bbst"))
+	m.Gauge("srj_test_escape", "Help with \\ backslash\nand newline.", 1,
+		L("value", "a\"b\\c\nd"))
+	return m
+}
+
+// TestGoldenExposition pins the exact rendered bytes: family sort
+// order, cumulative buckets, +Inf, escaping. A diff here is a wire
+// format change and should be a conscious one.
+func TestGoldenExposition(t *testing.T) {
+	var b strings.Builder
+	if _, err := goldenSet().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("exposition drifted from testdata/golden.prom:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestGoldenRoundTrip: the golden exposition reparses, escapes
+// included.
+func TestGoldenRoundTrip(t *testing.T) {
+	raw, err := os.ReadFile("testdata/golden.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ParsedFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	esc, ok := byName["srj_test_escape"]
+	if !ok || len(esc.Samples) != 1 {
+		t.Fatalf("srj_test_escape missing: %+v", byName)
+	}
+	if got := esc.Samples[0].Labels[0].Value; got != "a\"b\\c\nd" {
+		t.Errorf("escaped label round-trip = %q", got)
+	}
+	hist := byName[MetricDrawDuration]
+	if hist.Type != "histogram" || len(hist.Samples) != 5 {
+		t.Errorf("histogram family parsed wrong: %+v", hist)
+	}
+}
+
+func TestCounterDuplicateSeriesSum(t *testing.T) {
+	m := NewMetricSet()
+	m.Counter("x_total", "h", 1, L("code", "ok"))
+	m.Counter("x_total", "h", 2, L("code", "ok"))
+	var b strings.Builder
+	m.WriteTo(&b)
+	if !strings.Contains(b.String(), `x_total{code="ok"} 3`) {
+		t.Errorf("duplicate counter series must sum:\n%s", b.String())
+	}
+}
+
+func TestGaugeDuplicateSeriesOverwrites(t *testing.T) {
+	m := NewMetricSet()
+	m.Gauge("x", "h", 1)
+	m.Gauge("x", "h", 7)
+	var b strings.Builder
+	m.WriteTo(&b)
+	if !strings.Contains(b.String(), "x 7\n") {
+		t.Errorf("duplicate gauge series must keep the latest value:\n%s", b.String())
+	}
+}
+
+func TestHistogramDuplicateSeriesMerges(t *testing.T) {
+	m := NewMetricSet()
+	s := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{1}, Sum: 0.5, Count: 1}
+	m.Histogram("x_seconds", "h", s)
+	m.Histogram("x_seconds", "h", s)
+	var b strings.Builder
+	m.WriteTo(&b)
+	if !strings.Contains(b.String(), "x_seconds_count 2") {
+		t.Errorf("duplicate histogram series must merge:\n%s", b.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redeclaring a family under another kind must panic")
+		}
+	}()
+	m := NewMetricSet()
+	m.Counter("x_total", "h", 1)
+	m.Gauge("x_total", "h", 1)
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name must panic")
+		}
+	}()
+	NewMetricSet().Counter("1bad", "h", 1)
+}
+
+func TestHandler(t *testing.T) {
+	h := Handler(func(m *MetricSet) {
+		m.Gauge(MetricUptime, "Process uptime.", 12.5)
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	fams, err := ParseExposition(rec.Body.String())
+	if err != nil {
+		t.Fatalf("handler output does not reparse: %v\n%s", err, rec.Body.String())
+	}
+	if len(fams) != 1 || fams[0].Name != MetricUptime || fams[0].Samples[0].Value != 12.5 {
+		t.Errorf("parsed %+v", fams)
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line of an exposition.
+type ParsedSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ParsedFamily is one metric family of an exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseExposition parses Prometheus text exposition format 0.0.4 and
+// enforces the invariants the renderer promises: HELP/TYPE lines
+// precede their samples, no family or series appears twice, every
+// sample parses. It exists for the round-trip tests (obs unit tests
+// and the e2e /metrics assertions), not as a general scrape client.
+func ParseExposition(text string) ([]ParsedFamily, error) {
+	var (
+		fams  []ParsedFamily
+		index = map[string]int{} // family name → fams index
+		seen  = map[string]bool{}
+		cur   = -1 // index of the family whose block we're inside
+	)
+	famFor := func(name string, line int) (*ParsedFamily, error) {
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if i, ok := index[trimmed]; ok && fams[i].Type == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		i, ok := index[base]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q before any HELP/TYPE for %q", line, name, base)
+		}
+		return &fams[i], nil
+	}
+	for n, raw := range strings.Split(text, "\n") {
+		line := n + 1
+		s := strings.TrimRight(raw, " \t")
+		if s == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(s, "# HELP "):
+			rest := strings.TrimPrefix(s, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if _, ok := index[name]; ok {
+				return nil, fmt.Errorf("line %d: duplicate family %q", line, name)
+			}
+			index[name] = len(fams)
+			cur = len(fams)
+			fams = append(fams, ParsedFamily{Name: name, Help: help})
+		case strings.HasPrefix(s, "# TYPE "):
+			rest := strings.TrimPrefix(s, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", line)
+			}
+			i, exists := index[name]
+			if exists && fams[i].Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+			}
+			if exists && len(fams[i].Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE for %q after its samples", line, name)
+			}
+			if !exists {
+				index[name] = len(fams)
+				i = len(fams)
+				fams = append(fams, ParsedFamily{Name: name})
+			}
+			fams[i].Type = typ
+			cur = i
+		case strings.HasPrefix(s, "#"):
+			// Other comments are legal and ignored.
+		default:
+			sm, err := parseSampleLine(s)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			f, err := famFor(sm.Name, line)
+			if err != nil {
+				return nil, err
+			}
+			if cur < 0 || fams[cur].Name != f.Name {
+				return nil, fmt.Errorf("line %d: sample %q outside its family block %q", line, sm.Name, f.Name)
+			}
+			series := sm.Name + renderLabels(sm.Labels)
+			if seen[series] {
+				return nil, fmt.Errorf("line %d: duplicate series %s", line, series)
+			}
+			seen[series] = true
+			f.Samples = append(f.Samples, sm)
+		}
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %q has HELP but no TYPE", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %q has no samples", f.Name)
+		}
+	}
+	return fams, nil
+}
+
+// parseSampleLine parses `name{l="v",...} value` (timestamp suffixes
+// are not rendered by this package and not accepted).
+func parseSampleLine(s string) (ParsedSample, error) {
+	var sm ParsedSample
+	i := 0
+	for i < len(s) && s[i] != '{' && s[i] != ' ' {
+		i++
+	}
+	sm.Name = s[:i]
+	if !validMetricName(sm.Name) {
+		return sm, fmt.Errorf("invalid metric name %q", sm.Name)
+	}
+	if i < len(s) && s[i] == '{' {
+		j := strings.IndexByte(s[i:], '}')
+		if j < 0 {
+			return sm, fmt.Errorf("unterminated label set")
+		}
+		labels, err := parseLabels(s[i+1 : i+j])
+		if err != nil {
+			return sm, err
+		}
+		sm.Labels = labels
+		i += j + 1
+	}
+	val := strings.TrimSpace(s[i:])
+	if val == "" {
+		return sm, fmt.Errorf("missing value")
+	}
+	v, err := parseValue(val)
+	if err != nil {
+		return sm, fmt.Errorf("bad value %q: %w", val, err)
+	}
+	sm.Value = v
+	return sm, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses the inside of a {...} label set, undoing the
+// renderer's escaping.
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=': %q", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		s = s[1:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %q", name)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		out = append(out, Label{Name: name, Value: b.String()})
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// RequestIDHeader carries the request ID across every hop: client →
+// router → backend server, and back on responses (including error
+// responses), so one grep correlates the whole path of a draw.
+const RequestIDHeader = "X-SRJ-Request-ID"
+
+// maxRequestIDLen caps caller-supplied IDs so a hostile client can't
+// bloat logs or headers.
+const maxRequestIDLen = 128
+
+type ctxKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// idPrefix and idCounter mint process-unique request IDs without a
+// clock or a per-request rand read: an 8-byte random process prefix
+// plus a monotone counter.
+var (
+	idPrefix  = func() string { var b [8]byte; rand.Read(b[:]); return hex.EncodeToString(b[:]) }()
+	idCounter atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request ID.
+func NewRequestID() string {
+	return idPrefix + "-" + strconv.FormatUint(idCounter.Add(1), 16)
+}
+
+// EnsureRequestID returns the request's ID, minting one if the caller
+// did not supply a (sane) one, and writes it back onto r.Header so a
+// proxy forwarding r's headers propagates it downstream.
+func EnsureRequestID(r *http.Request) string {
+	id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+	if id == "" {
+		id = NewRequestID()
+	}
+	r.Header.Set(RequestIDHeader, id)
+	return id
+}
+
+// sanitizeRequestID rejects caller-supplied IDs that could inject
+// into logs or headers: too long, or containing anything outside
+// printable non-space ASCII.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' || id[i] == '"' || id[i] == '\\' {
+			return ""
+		}
+	}
+	return id
+}
+
+// StatusRecorder wraps a ResponseWriter to expose the status code
+// after the handler ran, for access logging and outcome counting. It
+// forwards Flush and exposes Unwrap so http.ResponseController keeps
+// reaching the underlying writer (the streaming path sets per-frame
+// write deadlines through it).
+type StatusRecorder struct {
+	http.ResponseWriter
+	Status int
+}
+
+// WriteHeader records the status and forwards.
+func (s *StatusRecorder) WriteHeader(code int) {
+	if s.Status == 0 {
+		s.Status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// Write forwards, defaulting the recorded status to 200 like net/http.
+func (s *StatusRecorder) Write(p []byte) (int, error) {
+	if s.Status == 0 {
+		s.Status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer if it flushes.
+func (s *StatusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (s *StatusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+		if sanitizeRequestID(id) != id {
+			t.Fatalf("minted ID %q does not survive its own sanitizer", id)
+		}
+	}
+}
+
+func TestEnsureRequestIDMintsAndWritesBack(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	id := EnsureRequestID(r)
+	if id == "" {
+		t.Fatal("no ID minted")
+	}
+	if got := r.Header.Get(RequestIDHeader); got != id {
+		t.Errorf("header not written back: %q vs %q", got, id)
+	}
+}
+
+func TestEnsureRequestIDAcceptsSaneCaller(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	r.Header.Set(RequestIDHeader, "caller-chose-this-1")
+	if id := EnsureRequestID(r); id != "caller-chose-this-1" {
+		t.Errorf("sane caller ID replaced: %q", id)
+	}
+}
+
+func TestSanitizeRequestIDRejects(t *testing.T) {
+	bad := []string{
+		"",
+		strings.Repeat("x", maxRequestIDLen+1),
+		"has space",
+		"log\ninjection",
+		"tab\there",
+		`quote"`,
+		`back\slash`,
+		"ctrl\x01char",
+		"non-ascii-é",
+	}
+	for _, id := range bad {
+		if got := sanitizeRequestID(id); got != "" {
+			t.Errorf("sanitize(%q) = %q, want rejection", id, got)
+		}
+	}
+	if got := sanitizeRequestID("ok-id_123"); got != "ok-id_123" {
+		t.Errorf("sane ID rejected: %q", got)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "abc-1")
+	if RequestIDFrom(ctx) != "abc-1" {
+		t.Error("ctx round trip failed")
+	}
+	if RequestIDFrom(context.Background()) != "" {
+		t.Error("empty ctx must yield empty ID")
+	}
+}
+
+func TestStatusRecorder(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sr := &StatusRecorder{ResponseWriter: rec}
+	sr.Write([]byte("x"))
+	if sr.Status != 200 {
+		t.Errorf("implicit status = %d, want 200", sr.Status)
+	}
+	rec2 := httptest.NewRecorder()
+	sr2 := &StatusRecorder{ResponseWriter: rec2}
+	sr2.WriteHeader(404)
+	sr2.WriteHeader(500) // first write wins, like net/http
+	if sr2.Status != 404 {
+		t.Errorf("Status = %d, want first WriteHeader to win", sr2.Status)
+	}
+	if sr2.Unwrap() != rec2 {
+		t.Error("Unwrap must expose the underlying writer")
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestRoundTripProperty renders seeded-random metric sets and asserts
+// the parser recovers every series exactly: names, labels (nasty
+// characters included), values, and histogram bucket/sum/count
+// structure. This is the contract GET /metrics rests on — whatever
+// the collectors assemble, the exposition must reparse.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		m := NewMetricSet()
+		type expect struct {
+			name   string
+			labels []Label
+			kind   familyKind
+			value  float64
+			snap   HistogramSnapshot
+		}
+		var expects []expect
+		seen := map[string]bool{}
+		nFam := 1 + rng.Intn(6)
+		for f := 0; f < nFam; f++ {
+			name := fmt.Sprintf("srj_prop_%c_%d", 'a'+rng.Intn(26), rng.Intn(100))
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			kind := familyKind(rng.Intn(3))
+			nSeries := 1 + rng.Intn(3)
+			used := map[string]bool{}
+			for s := 0; s < nSeries; s++ {
+				labels := randomLabels(rng)
+				key := renderLabels(labels)
+				if used[key] {
+					continue
+				}
+				used[key] = true
+				switch kind {
+				case kindCounter:
+					v := float64(rng.Intn(1_000_000))
+					m.Counter(name, "help for "+name, v, labels...)
+					expects = append(expects, expect{name: name, labels: labels, kind: kind, value: v})
+				case kindGauge:
+					v := (rng.Float64() - 0.5) * 1e6
+					m.Gauge(name, "help for "+name, v, labels...)
+					expects = append(expects, expect{name: name, labels: labels, kind: kind, value: v})
+				case kindHistogram:
+					snap := randomSnapshot(rng)
+					m.Histogram(name, "help for "+name, snap, labels...)
+					expects = append(expects, expect{name: name, labels: labels, kind: kind, snap: snap})
+				}
+			}
+		}
+		var b strings.Builder
+		if _, err := m.WriteTo(&b); err != nil {
+			t.Fatalf("iter %d: render: %v", iter, err)
+		}
+		fams, err := ParseExposition(b.String())
+		if err != nil {
+			t.Fatalf("iter %d: output does not reparse: %v\n%s", iter, err, b.String())
+		}
+		byName := map[string]ParsedFamily{}
+		for _, f := range fams {
+			byName[f.Name] = f
+		}
+		for _, e := range expects {
+			f, ok := byName[e.name]
+			if !ok {
+				t.Fatalf("iter %d: family %s lost in round trip", iter, e.name)
+			}
+			switch e.kind {
+			case kindCounter, kindGauge:
+				v, ok := findSample(f, e.name, e.labels)
+				if !ok {
+					t.Fatalf("iter %d: series %s%s lost", iter, e.name, renderLabels(e.labels))
+				}
+				if v != e.value && !(math.IsNaN(v) && math.IsNaN(e.value)) {
+					t.Fatalf("iter %d: %s%s = %g, want %g", iter, e.name, renderLabels(e.labels), v, e.value)
+				}
+			case kindHistogram:
+				checkHistogramSeries(t, iter, f, e.name, e.labels, e.snap)
+			}
+		}
+	}
+}
+
+// randomLabels draws 0–2 labels with values spanning the escape-worthy
+// character set.
+func randomLabels(rng *rand.Rand) []Label {
+	alphabet := []rune(`abc XYZ 0-9 "quote" \slash` + "\nnewline\ttab é✓")
+	n := rng.Intn(3)
+	var out []Label
+	names := []string{"algorithm", "code", "backend", "reason", "extra"}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	for i := 0; i < n; i++ {
+		var v strings.Builder
+		for j := rng.Intn(12); j >= 0; j-- {
+			v.WriteRune(alphabet[rng.Intn(len(alphabet))])
+		}
+		out = append(out, Label{Name: names[i], Value: v.String()})
+	}
+	// The renderer emits labels in insertion order; sort so identical
+	// sets always hash to the same series key.
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// randomSnapshot draws a small histogram with ascending bounds.
+func randomSnapshot(rng *rand.Rand) HistogramSnapshot {
+	n := 1 + rng.Intn(5)
+	bounds := make([]float64, n)
+	counts := make([]uint64, n)
+	last := 0.0
+	var total uint64
+	for i := range bounds {
+		last += 0.001 + rng.Float64()
+		bounds[i] = last
+		counts[i] = uint64(rng.Intn(50))
+		total += counts[i]
+	}
+	total += uint64(rng.Intn(10)) // +Inf bucket
+	return HistogramSnapshot{Bounds: bounds, Counts: counts, Sum: rng.Float64() * 100, Count: total}
+}
+
+func findSample(f ParsedFamily, name string, labels []Label) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name == name && labelsEqual(s.Labels, labels) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// checkHistogramSeries asserts the parsed family contains the
+// cumulative buckets, +Inf, _sum, and _count the snapshot dictates.
+func checkHistogramSeries(t *testing.T, iter int, f ParsedFamily, name string, labels []Label, snap HistogramSnapshot) {
+	t.Helper()
+	var cum uint64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		le := append(append([]Label(nil), labels...), Label{Name: "le", Value: formatValue(bound)})
+		v, ok := findSample(f, name+"_bucket", le)
+		if !ok || v != float64(cum) {
+			t.Fatalf("iter %d: bucket %s le=%s = %g,%v want %d", iter, name, formatValue(bound), v, ok, cum)
+		}
+	}
+	inf := append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"})
+	if v, ok := findSample(f, name+"_bucket", inf); !ok || v != float64(snap.Count) {
+		t.Fatalf("iter %d: +Inf bucket = %g,%v want %d", iter, v, ok, snap.Count)
+	}
+	if v, ok := findSample(f, name+"_sum", labels); !ok || math.Abs(v-snap.Sum) > math.Abs(snap.Sum)*1e-12 {
+		t.Fatalf("iter %d: _sum = %g,%v want %g", iter, v, ok, snap.Sum)
+	}
+	if v, ok := findSample(f, name+"_count", labels); !ok || v != float64(snap.Count) {
+		t.Fatalf("iter %d: _count = %g,%v want %d", iter, v, ok, snap.Count)
+	}
+}

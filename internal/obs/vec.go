@@ -1,0 +1,101 @@
+package obs
+
+import "sync"
+
+// CounterVec is a push-side counter family over one label whose value
+// domain is bounded by construction (outcome codes, algorithm names —
+// the metriclabel analyzer rejects unbounded feeds). The map grows to
+// the domain size and no further, so the mutex is uncontended after
+// warm-up... but the hot paths still only touch it once per request.
+type CounterVec struct {
+	mu sync.Mutex
+	m  map[string]*counterCell
+}
+
+type counterCell struct{ v uint64 }
+
+// NewCounterVec returns an empty vec.
+func NewCounterVec() *CounterVec {
+	return &CounterVec{m: make(map[string]*counterCell)}
+}
+
+// Add increments the series for the given label value by delta.
+func (c *CounterVec) Add(value string, delta uint64) {
+	c.mu.Lock()
+	cell, ok := c.m[value]
+	if !ok {
+		cell = &counterCell{}
+		c.m[value] = cell
+	}
+	cell.v += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the series for the given label value by one.
+func (c *CounterVec) Inc(value string) { c.Add(value, 1) }
+
+// Each calls fn for every (label value, count) pair. Iteration order
+// is unspecified; MetricSet sorts at render time.
+func (c *CounterVec) Each(fn func(value string, count uint64)) {
+	c.mu.Lock()
+	type kv struct {
+		k string
+		v uint64
+	}
+	pairs := make([]kv, 0, len(c.m))
+	for k, cell := range c.m {
+		pairs = append(pairs, kv{k, cell.v})
+	}
+	c.mu.Unlock()
+	for _, p := range pairs {
+		fn(p.k, p.v)
+	}
+}
+
+// HistogramVec is a push-side histogram family over one bounded
+// label. Cells are created under the mutex on first sight of a label
+// value; Observe on an existing cell is lock-free after the lookup.
+type HistogramVec struct {
+	bounds []float64
+	mu     sync.Mutex
+	m      map[string]*Histogram
+}
+
+// NewHistogramVec returns an empty vec over the given bucket bounds.
+func NewHistogramVec(bounds []float64) *HistogramVec {
+	return &HistogramVec{bounds: bounds, m: make(map[string]*Histogram)}
+}
+
+// With returns (creating if needed) the histogram for a label value.
+// Callers on hot paths should hold the returned *Histogram rather
+// than calling With per request when the label is fixed.
+func (h *HistogramVec) With(value string) *Histogram {
+	h.mu.Lock()
+	hist, ok := h.m[value]
+	if !ok {
+		hist = NewHistogram(h.bounds)
+		h.m[value] = hist
+	}
+	h.mu.Unlock()
+	return hist
+}
+
+// Observe records v in the series for the given label value.
+func (h *HistogramVec) Observe(value string, v float64) { h.With(value).Observe(v) }
+
+// Each calls fn for every (label value, snapshot) pair.
+func (h *HistogramVec) Each(fn func(value string, snap HistogramSnapshot)) {
+	h.mu.Lock()
+	type kv struct {
+		k string
+		h *Histogram
+	}
+	pairs := make([]kv, 0, len(h.m))
+	for k, hist := range h.m {
+		pairs = append(pairs, kv{k, hist})
+	}
+	h.mu.Unlock()
+	for _, p := range pairs {
+		fn(p.k, p.h.Snapshot())
+	}
+}

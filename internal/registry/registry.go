@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Key identifies one cacheable engine: the named dataset pair, the
@@ -107,6 +108,10 @@ type Stats struct {
 	Entries         int    `json:"entries"`          // resident engines
 	Bytes           int64  `json:"bytes"`            // summed SizeBytes of resident engines
 	Budget          int64  `json:"budget"`           // configured budget (0 = unlimited)
+	// BuildLatency distributes executed build durations. It lives on
+	// the Registry itself (not the entries), so eviction never makes
+	// the exported histogram run backwards.
+	BuildLatency obs.HistogramSnapshot `json:"build_latency"`
 }
 
 // EntryInfo describes one resident engine for /v1/engines.
@@ -166,6 +171,8 @@ type Registry struct {
 	inflight map[Key]*call
 
 	hits, misses, builds, evictions, manualEvictions uint64
+
+	buildHist *obs.Histogram // durations of executed builds
 }
 
 // New returns a registry that builds cold keys with build and keeps
@@ -181,12 +188,13 @@ func New(build BuildFunc, budgetBytes int64) *Registry {
 		budgetBytes = 0
 	}
 	return &Registry{
-		build:    build,
-		budget:   budgetBytes,
-		buildSem: make(chan struct{}, runtime.GOMAXPROCS(0)),
-		entries:  make(map[Key]*entry),
-		lru:      list.New(),
-		inflight: make(map[Key]*call),
+		build:     build,
+		budget:    budgetBytes,
+		buildSem:  make(chan struct{}, runtime.GOMAXPROCS(0)),
+		entries:   make(map[Key]*entry),
+		lru:       list.New(),
+		inflight:  make(map[Key]*call),
+		buildHist: obs.NewHistogram(obs.BuildDurationBuckets),
 	}
 }
 
@@ -249,6 +257,7 @@ func (r *Registry) Get(ctx context.Context, key Key) (*engine.Engine, error) {
 		start := time.Now()
 		eng, err := r.build(buildCtx, key)
 		buildNS := time.Since(start).Nanoseconds()
+		r.buildHist.Observe(time.Duration(buildNS).Seconds())
 		<-r.buildSem
 		r.mu.Lock()
 		delete(r.inflight, key)
@@ -354,6 +363,7 @@ func (r *Registry) Stats() Stats {
 		Entries:         len(r.entries),
 		Bytes:           r.bytes,
 		Budget:          r.budget,
+		BuildLatency:    r.buildHist.Snapshot(),
 	}
 }
 

@@ -13,11 +13,14 @@ package router
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/server"
 )
@@ -59,7 +62,51 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/engines", r.handleEvict)
 	mux.HandleFunc("GET /v1/router", r.handleRouterStats)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
-	return mux
+	mux.Handle("GET /metrics", obs.Handler(r.collectMetrics))
+	if r.pprof {
+		obs.MountPprof(mux)
+	}
+	// The same middleware srjserver's ServeHTTP applies: ensure a
+	// request ID (minting here makes the router the origin of the ID a
+	// whole proxied draw shares — EnsureRequestID writes it back onto
+	// the request headers, and the backend clients forward it from the
+	// context), echo it on the response, count the outcome, log.
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := obs.EnsureRequestID(req)
+		w.Header().Set(obs.RequestIDHeader, id)
+		req = req.WithContext(obs.WithRequestID(req.Context(), id))
+		rec := &obs.StatusRecorder{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(rec, req)
+		r.requests.Inc(routerOutcome(rec))
+		if r.logger != nil {
+			r.logger.LogAttrs(req.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", id),
+				slog.String("method", req.Method),
+				slog.String("path", req.URL.Path),
+				slog.Int("status", rec.Status),
+				slog.Duration("elapsed", time.Since(start)),
+			)
+		}
+	})
+}
+
+// routerOutcome classifies a finished response for srj_requests_total,
+// mirroring the server's outcomeCode: error paths stamp their code
+// into ErrorCodeHeader (WriteError does it on both tiers), everything
+// else classifies by status class.
+func routerOutcome(rec *obs.StatusRecorder) string {
+	if code := rec.Header().Get(server.ErrorCodeHeader); code != "" {
+		return code
+	}
+	switch {
+	case rec.Status < http.StatusBadRequest:
+		return "ok"
+	case rec.Status < http.StatusInternalServerError:
+		return server.CodeBadRequest
+	default:
+		return server.CodeInternal
+	}
 }
 
 func (r *Router) handleSample(w http.ResponseWriter, req *http.Request) {
@@ -180,7 +227,7 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	agg := server.StatsResponse{UptimeSecs: r.Uptime().Seconds()}
-	for _, st := range stats {
+	for addr, st := range stats {
 		if agg.MaxT == 0 || (st.MaxT > 0 && st.MaxT < agg.MaxT) {
 			agg.MaxT = st.MaxT
 		}
@@ -192,8 +239,20 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 		agg.Registry.Entries += st.Registry.Entries
 		agg.Registry.Bytes += st.Registry.Bytes
 		agg.Registry.Budget += st.Registry.Budget
+		agg.Registry.BuildLatency = agg.Registry.BuildLatency.Merge(st.Registry.BuildLatency)
 		agg.Engines = append(agg.Engines, st.Engines...)
+		for _, info := range st.Stores {
+			info.Backend = addr
+			agg.Stores = append(agg.Stores, info)
+		}
 	}
+	sort.Slice(agg.Stores, func(i, j int) bool {
+		a, b := agg.Stores[i], agg.Stores[j]
+		if a.Key != b.Key {
+			return a.Key.String() < b.Key.String()
+		}
+		return a.Backend < b.Backend
+	})
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(agg)
 }

@@ -1,0 +1,41 @@
+package router
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// collectMetrics assembles one GET /metrics scrape. The families the
+// router shares with srjserver (srj_draw_duration_seconds,
+// srj_draw_samples_total, srj_requests_total, srj_uptime_seconds)
+// keep the same names and bucket bounds, so one dashboard aggregates
+// both tiers; the srj_router_* families are the routing state only
+// this tier owns. The backend label is bounded: the fleet is fixed at
+// construction.
+func (r *Router) collectMetrics(m *obs.MetricSet) {
+	m.Gauge(obs.MetricUptime, "Process uptime.", time.Since(r.start).Seconds())
+	r.requests.Each(func(code string, n uint64) {
+		m.Counter(obs.MetricRequests, "API requests by outcome code.",
+			float64(n), obs.L(obs.LabelCode, code))
+	})
+	m.Histogram(obs.MetricDrawDuration, "Full draw-request latency (routed, failover included).",
+		r.drawHist.Snapshot())
+	m.Counter(obs.MetricDrawSamples, "Join samples delivered to clients.",
+		float64(r.drawSamples.Load()))
+
+	for _, b := range r.backends {
+		label := obs.L(obs.LabelBackend, b.addr)
+		up := 0.0
+		if b.healthy.Load() {
+			up = 1
+		}
+		m.Gauge(obs.MetricRouterBackendUp, "Backend health flag (1 = healthy).", up, label)
+		m.Counter(obs.MetricRouterBackendRequests, "Draw attempts routed to the backend.",
+			float64(b.requests.Load()), label)
+		m.Counter(obs.MetricRouterBackendFailures, "Attempts the backend answered with an error or failed in transport.",
+			float64(b.failures.Load()), label)
+		m.Counter(obs.MetricRouterFailovers, "Transport failures that moved a draw onward.",
+			float64(b.failovers.Load()), label)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/server"
 )
@@ -71,6 +73,14 @@ type Options struct {
 	// http.DefaultClient. For many concurrent draws use a transport
 	// with MaxIdleConnsPerHost sized to the concurrency.
 	HTTPClient *http.Client
+	// Logger receives structured logs: the proxy access log at Info,
+	// failovers at Warn (with the request ID, so a failover line joins
+	// up with the backend's and client's view of the same draw). nil
+	// disables logging.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// handler returned by Handler(). Off by default.
+	EnablePprof bool
 }
 
 // backend is one srjserver plus its routing state.
@@ -98,6 +108,15 @@ type Router struct {
 	backends []*backend
 	ring     *ring
 	start    time.Time
+	logger   *slog.Logger
+	pprof    bool
+
+	// Push-side metrics. Per-backend series come from the backend
+	// atomics instead — the fleet is fixed at construction, so the
+	// backend label is bounded and those counters stay monotonic.
+	drawHist    *obs.Histogram  // srj_draw_duration_seconds (all algorithms, one proxy path)
+	drawSamples atomic.Uint64   // srj_draw_samples_total
+	requests    *obs.CounterVec // srj_requests_total{code}, fed by the handler
 
 	probeStop chan struct{}
 	probeDone chan struct{}
@@ -135,9 +154,13 @@ func New(backends []string, opts Options) (*Router, error) {
 		addrs = append(addrs, a)
 	}
 	r := &Router{
-		ring:  buildRing(addrs, opts.VNodes),
-		start: time.Now(),
-		keys:  make(map[registry.Key]*keyCounter),
+		ring:     buildRing(addrs, opts.VNodes),
+		start:    time.Now(),
+		keys:     make(map[registry.Key]*keyCounter),
+		logger:   opts.Logger,
+		pprof:    opts.EnablePprof,
+		drawHist: obs.NewHistogram(obs.DrawDurationBuckets),
+		requests: obs.NewCounterVec(),
 	}
 	for _, a := range addrs {
 		b := &backend{addr: a, client: server.NewClient(a, opts.HTTPClient)}
@@ -327,6 +350,13 @@ func (r *Router) drawFunc(ctx context.Context, key registry.Key, t int, seed uin
 	order := r.order(key)
 	delivered := 0
 	failovers := 0
+	start := time.Now()
+	defer func() {
+		// One observation per routed draw, after the last attempt —
+		// failover detours are part of the latency the caller saw.
+		r.drawHist.Observe(time.Since(start).Seconds())
+		r.drawSamples.Add(uint64(delivered))
+	}()
 	var lastErr error
 	for _, bi := range order {
 		b := r.backends[bi]
@@ -380,6 +410,16 @@ func (r *Router) drawFunc(ctx context.Context, key registry.Key, t int, seed uin
 		b.failovers.Add(1)
 		failovers++
 		lastErr = err
+		if r.logger != nil {
+			r.logger.LogAttrs(ctx, slog.LevelWarn, "failover",
+				slog.String("request_id", obs.RequestIDFrom(ctx)),
+				slog.String("backend", b.addr),
+				slog.String("dataset", key.Dataset),
+				slog.String("algorithm", key.Algorithm),
+				slog.Int("delivered", delivered),
+				slog.String("error", err.Error()),
+			)
+		}
 	}
 	return fmt.Errorf("router: all %d backends failed for %s: %w", len(order), key, lastErr)
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -40,9 +41,16 @@ type APIError struct {
 	Status  int    // HTTP status code
 	Code    string // machine-readable error code (see the Code constants)
 	Message string // the server's error body
+	// RequestID echoes the X-SRJ-Request-ID of the failed exchange,
+	// so an error value in a client log names the exact server/router
+	// log lines that explain it.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("server: %s (HTTP %d, request %s)", e.Message, e.Status, e.RequestID)
+	}
 	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Status)
 }
 
@@ -59,7 +67,21 @@ func apiError(resp *http.Response) error {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, MaxBodyBytes)).Decode(&body); err == nil && body.Error != "" {
 		msg = body.Error
 	}
-	return &APIError{Status: resp.StatusCode, Code: body.Code, Message: msg}
+	return &APIError{
+		Status:    resp.StatusCode,
+		Code:      body.Code,
+		Message:   msg,
+		RequestID: resp.Header.Get(obs.RequestIDHeader),
+	}
+}
+
+// injectRequestID forwards the context's request ID (if any) on an
+// outbound request, so a draw proxied router -> backend keeps one ID
+// across every hop.
+func injectRequestID(ctx context.Context, hr *http.Request) {
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		hr.Header.Set(obs.RequestIDHeader, id)
+	}
 }
 
 // postSample issues the request with the given Accept header and
@@ -75,6 +97,7 @@ func (c *Client) postSample(ctx context.Context, req SampleRequest, accept strin
 	}
 	hr.Header.Set("Content-Type", "application/json")
 	hr.Header.Set("Accept", accept)
+	injectRequestID(ctx, hr)
 	resp, err := c.hc.Do(hr)
 	if err != nil {
 		return nil, err
@@ -150,6 +173,9 @@ func (c *Client) SampleFunc(ctx context.Context, req SampleRequest, fn func(batc
 		// returned, and it made it off the wire intact.
 		var serr *StreamError
 		if errors.As(err, &serr) {
+			if serr.RequestID == "" {
+				serr.RequestID = resp.Header.Get(obs.RequestIDHeader)
+			}
 			return err
 		}
 		// A context that expired mid-stream surfaces as a transport
@@ -210,6 +236,7 @@ func (c *Client) ApplyUpdate(ctx context.Context, req UpdateRequest) (UpdateResp
 		return out, err
 	}
 	hr.Header.Set("Content-Type", contentType)
+	injectRequestID(ctx, hr)
 	resp, err := c.hc.Do(hr)
 	if err != nil {
 		return out, err
@@ -230,6 +257,7 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
+	injectRequestID(ctx, hr)
 	resp, err := c.hc.Do(hr)
 	if err != nil {
 		return err
@@ -272,6 +300,7 @@ func (c *Client) EvictEngine(ctx context.Context, key registry.Key) (bool, error
 		return false, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	injectRequestID(ctx, hr)
 	resp, err := c.hc.Do(hr)
 	if err != nil {
 		return false, err
@@ -293,6 +322,7 @@ func (c *Client) Health(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	injectRequestID(ctx, hr)
 	resp, err := c.hc.Do(hr)
 	if err != nil {
 		return err

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -86,14 +88,25 @@ type Config struct {
 	// Timeout bounds one request end to end, engine build included
 	// (default DefaultTimeout).
 	Timeout time.Duration
+	// Logger receives structured request logs: the per-request access
+	// log at Info, slow draws at Warn. nil disables logging.
+	Logger *slog.Logger
+	// SlowDraw, when positive, logs any draw slower than it at Warn
+	// with full attribution (request ID, key, generation, acceptance
+	// rate). Zero disables slow-draw logging.
+	SlowDraw time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints do not belong on an open port.
+	EnablePprof bool
 }
 
 // Server is the HTTP handler of the serving subsystem. Create with
 // New; it is safe for concurrent use.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	mux     *http.ServeMux
+	start   time.Time
+	metrics serverMetrics
 }
 
 // New validates cfg, applies defaults, and returns a ready handler.
@@ -113,18 +126,61 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultTimeout
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now(), metrics: newServerMetrics()}
 	s.mux.HandleFunc("POST /v1/sample", s.handleSample)
 	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	s.mux.HandleFunc("DELETE /v1/engines", s.handleEvict)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", obs.Handler(s.collectMetrics))
+	if cfg.EnablePprof {
+		obs.MountPprof(s.mux)
+	}
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: it threads the request ID
+// through (accepting a caller-supplied one, minting otherwise, and
+// echoing it on the response so clients can attribute errors), counts
+// the outcome code, and emits the access log line.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := obs.EnsureRequestID(r)
+	w.Header().Set(obs.RequestIDHeader, id)
+	r = r.WithContext(obs.WithRequestID(r.Context(), id))
+	rec := &obs.StatusRecorder{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	s.metrics.requests.Inc(outcomeCode(rec))
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.Status),
+			slog.Duration("elapsed", time.Since(start)),
+		)
+	}
+}
+
+// outcomeCode classifies one finished response for srj_requests_total.
+// Error paths stamp their exact code into ErrorCodeHeader; anything
+// without one is classified by status class. A draw that fails after
+// the 200 and first frame are on the wire counts as ok here — the
+// mid-stream error frame is the client's signal, not HTTP's.
+func outcomeCode(rec *obs.StatusRecorder) string {
+	if code := rec.Header().Get(ErrorCodeHeader); code != "" {
+		return code
+	}
+	switch {
+	case rec.Status < http.StatusBadRequest:
+		return "ok"
+	case rec.Status < http.StatusInternalServerError:
+		return CodeBadRequest
+	default:
+		return CodeInternal
+	}
+}
 
 // MaxT reports the configured per-request sample cap.
 func (s *Server) MaxT() int { return s.cfg.MaxT }
@@ -190,6 +246,10 @@ type StatsResponse struct {
 	MaxT       int                  `json:"max_t"`
 	Registry   registry.Stats       `json:"registry"`
 	Engines    []registry.EntryInfo `json:"engines"`
+	// Stores lists the live dynamic stores (generation, delta
+	// fraction, rebuild count per key) so the JSON surface and
+	// /metrics never disagree. Empty on a purely static server.
+	Stores []dynamic.StoreInfo `json:"stores,omitempty"`
 }
 
 // Machine-readable error codes carried in every non-2xx answer, so
@@ -219,12 +279,20 @@ type errorResponse struct {
 	Code  string `json:"code,omitempty"`
 }
 
+// ErrorCodeHeader carries the machine-readable error code of a
+// non-2xx answer as a response header, duplicating the body's code
+// field. It exists for the serving tiers themselves: the outcome
+// counter behind srj_requests_total reads it after the handler ran,
+// without re-parsing the body it just wrote.
+const ErrorCodeHeader = "X-SRJ-Error-Code"
+
 // WriteError answers with a JSON error body carrying apiCode. It is
 // exported (with StatusFor and CodeFor) so alternative serving fronts
 // — the shard router's proxy — answer errors in the exact shape this
 // server does, and one client understands every tier.
 func WriteError(w http.ResponseWriter, status int, apiCode string, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(ErrorCodeHeader, apiCode)
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...), Code: apiCode})
 }
@@ -355,17 +423,41 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	eng, err := s.resolveEngine(ctx, req)
+	key, eng, err := s.resolveEngine(ctx, req)
 	if err != nil {
 		WriteError(w, StatusFor(err), CodeFor(err), "building engine %s: %v", req.Key(), err)
 		return
 	}
 	dreq := engine.Request{T: req.T, Seed: req.DrawSeed}
+	start := time.Now()
+	var samples int
 	if binaryOut {
-		s.streamBinary(ctx, w, eng, dreq)
-		return
+		samples, err = s.streamBinary(ctx, w, eng, dreq)
+	} else {
+		samples, err = s.respondJSON(ctx, w, eng, dreq)
 	}
-	s.respondJSON(ctx, w, eng, dreq)
+	elapsed := time.Since(start)
+	// One histogram observation per request, after the draw — never
+	// inside the sampler's rejection loop. The algorithm label comes
+	// from the resolved key, whose algorithm set is bounded.
+	s.metrics.drawHist.Observe(key.Algorithm, elapsed.Seconds())
+	s.metrics.drawSamples.Add(key.Algorithm, uint64(samples))
+	if s.cfg.Logger != nil && s.cfg.SlowDraw > 0 && elapsed >= s.cfg.SlowDraw {
+		attrs := []slog.Attr{
+			slog.String("request_id", obs.RequestIDFrom(r.Context())),
+			slog.String("dataset", req.Dataset),
+			slog.String("algorithm", key.Algorithm),
+			slog.Uint64("generation", key.Generation),
+			slog.Int("t", req.T),
+			slog.Int("samples", samples),
+			slog.Duration("elapsed", elapsed),
+			slog.Float64("acceptance_rate", eng.Stats().AcceptanceRate()),
+		}
+		if err != nil {
+			attrs = append(attrs, slog.String("error", err.Error()))
+		}
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelWarn, "slow draw", attrs...)
+	}
 }
 
 // respondJSON draws all requested samples (bounded by MaxTJSON), then
@@ -373,7 +465,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 // context-aware DrawFunc, so the deadline is honored between chunks;
 // the response write gets its own deadline so a client that stops
 // reading cannot pin the handler.
-func (s *Server) respondJSON(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, req engine.Request) {
+func (s *Server) respondJSON(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, req engine.Request) (int, error) {
 	pairs := make([]geom.Pair, 0, req.T)
 	err := eng.DrawFunc(ctx, req, func(batch []geom.Pair) error {
 		pairs = append(pairs, batch...)
@@ -381,11 +473,12 @@ func (s *Server) respondJSON(ctx context.Context, w http.ResponseWriter, eng *en
 	})
 	if err != nil {
 		WriteError(w, StatusFor(err), CodeFor(err), "sampling: %v", err)
-		return
+		return len(pairs), err
 	}
 	w.Header().Set("Content-Type", "application/json")
 	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
 	json.NewEncoder(w).Encode(SampleResponse{Count: len(pairs), Pairs: pairs})
+	return len(pairs), nil
 }
 
 // streamBinary streams the requested samples as framed chunks,
@@ -396,15 +489,16 @@ func (s *Server) respondJSON(ctx context.Context, w http.ResponseWriter, eng *en
 // can stream forever, but one that stops reading blocks our Write,
 // trips the deadline, and frees the handler and its sampler clone —
 // the between-batch ctx check alone never fires while Write is stuck.
-func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, req engine.Request) {
+func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *engine.Engine, req engine.Request) (int, error) {
 	w.Header().Set("Content-Type", ContentTypeBinary)
 	rc := http.NewResponseController(w)
 	rc.SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
 	if err := WriteStreamHeader(w); err != nil {
-		return
+		return 0, err
 	}
 	flusher, _ := w.(http.Flusher)
 	var scratch []byte
+	delivered := 0
 	err := eng.DrawFunc(ctx, req, func(batch []geom.Pair) error {
 		rc.SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
 		var werr error
@@ -412,6 +506,7 @@ func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *e
 		if werr != nil {
 			return werr
 		}
+		delivered += len(batch)
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -419,9 +514,10 @@ func (s *Server) streamBinary(ctx context.Context, w http.ResponseWriter, eng *e
 	})
 	if err != nil {
 		WriteStreamError(w, CodeFor(err), err.Error())
-		return
+		return delivered, err
 	}
 	WriteStreamEnd(w)
+	return delivered, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -430,6 +526,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxT:       s.cfg.MaxT,
 		Registry:   s.cfg.Registry.Stats(),
 		Engines:    s.cfg.Registry.Entries(),
+	}
+	if s.cfg.Stores != nil {
+		resp.Stores = s.cfg.Stores.Infos()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)

@@ -164,25 +164,27 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // as ErrStaleGeneration, which is retried with the fresh generation;
 // under pathological update pressure the store's current view serves
 // directly, uncached.
-func (s *Server) resolveEngine(ctx context.Context, req SampleRequest) (*engine.Engine, error) {
+func (s *Server) resolveEngine(ctx context.Context, req SampleRequest) (registry.Key, *engine.Engine, error) {
 	key := req.Key()
 	var st *dynamic.Store
 	if s.cfg.Stores != nil {
 		st, _ = s.cfg.Stores.Lookup(key)
 	}
 	if st == nil {
-		return s.cfg.Registry.Get(ctx, key)
+		eng, err := s.cfg.Registry.Get(ctx, key)
+		return key, eng, err
 	}
 	for attempt := 0; attempt < 4; attempt++ {
 		key.Generation = st.Generation()
 		eng, err := s.cfg.Registry.Get(ctx, key)
 		if err == nil || !errors.Is(err, dynamic.ErrStaleGeneration) {
-			return eng, err
+			return key, eng, err
 		}
 	}
-	_, eng, err := st.ViewEngine()
+	gen, eng, err := st.ViewEngine()
 	if err != nil {
-		return nil, fmt.Errorf("store %s: %w", key, err)
+		return key, nil, fmt.Errorf("store %s: %w", key, err)
 	}
-	return eng, nil
+	key.Generation = gen
+	return key, eng, nil
 }

@@ -140,9 +140,16 @@ func WriteStreamError(w io.Writer, code, msg string) error {
 type StreamError struct {
 	Code    string // machine-readable error code (see the Code constants)
 	Message string // the server's error text
+	// RequestID echoes the X-SRJ-Request-ID of the stream's response
+	// (filled client-side from the header; it does not travel in the
+	// error frame itself).
+	RequestID string
 }
 
 func (e *StreamError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("server: remote error: %s (request %s)", e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("server: remote error: %s", e.Message)
 }
 

@@ -1,0 +1,449 @@
+package srj_test
+
+// Fleet observability end to end: the /metrics expositions of server
+// and router must reparse and carry the shared taxonomy with live
+// values, and one request ID must be traceable through every hop —
+// router access log, backend access log, failover warning, and the
+// error values clients get back.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"log/slog"
+
+	srj "repro"
+	"repro/internal/obs"
+	"repro/srjtest"
+)
+
+// syncBuffer is a goroutine-safe log sink: handlers write from
+// request goroutines while the test reads after the fact.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// logLines decodes every JSON log line in the buffer.
+func (s *syncBuffer) logLines(t *testing.T) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(s.String(), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("unparseable log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// requestIDs returns the request_id of every log line with the given
+// msg ("" matches all).
+func requestIDs(t *testing.T, buf *syncBuffer, msg string) []string {
+	t.Helper()
+	var ids []string
+	for _, m := range buf.logLines(t) {
+		if msg != "" && m["msg"] != msg {
+			continue
+		}
+		if id, ok := m["request_id"].(string); ok && id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// scrape fetches and parses url's /metrics exposition, failing the
+// test on transport, content-type, or format violations.
+func scrape(t *testing.T, base string) []obs.ParsedFamily {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("GET /metrics Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(string(raw))
+	if err != nil {
+		t.Fatalf("exposition does not reparse: %v\n%s", err, raw)
+	}
+	return fams
+}
+
+// sumSamples sums every sample named name (for histograms pass the
+// expanded _count/_sum names) across the parsed families. The second
+// return reports whether any matched.
+func sumSamples(fams []obs.ParsedFamily, name string) (float64, bool) {
+	total, found := 0.0, false
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			if s.Name == name {
+				total += s.Value
+				found = true
+			}
+		}
+	}
+	return total, found
+}
+
+// obsFleet is a 2-backend fleet behind a router, every tier serving
+// its HTTP surface on a real listener with its own log buffer.
+type obsFleet struct {
+	routerURL   string
+	backendURLs []string
+	routerLog   *syncBuffer
+	backendLogs []*syncBuffer
+	router      *srj.Router
+	client      *srj.Client
+}
+
+func startObsFleet(t *testing.T, cfg srjtest.Config, n int, maxT int) *obsFleet {
+	t.Helper()
+	fl := &obsFleet{}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		buf := &syncBuffer{}
+		srv, err := srj.NewServer(&srj.ServerOptions{
+			Datasets: func(name string) ([]srj.Point, []srj.Point, error) {
+				return cfg.R, cfg.S, nil
+			},
+			MaxT:     maxT,
+			Logger:   slog.New(slog.NewJSONHandler(buf, &slog.HandlerOptions{Level: slog.LevelInfo})),
+			SlowDraw: time.Nanosecond, // every draw logs, so the attribution is testable
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		addrs[i] = ts.URL
+		fl.backendLogs = append(fl.backendLogs, buf)
+	}
+	fl.backendURLs = addrs
+	fl.routerLog = &syncBuffer{}
+	rt, err := srj.NewRouter(addrs, srj.RouterOptions{
+		HTTPClient:    confTransport(t),
+		ProbeInterval: -1,
+		Logger:        slog.New(slog.NewJSONHandler(fl.routerLog, &slog.HandlerOptions{Level: slog.LevelInfo})),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	fl.router = rt
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	fl.routerURL = rts.URL
+	fl.client = srj.NewClientHTTP(rts.URL, confTransport(t))
+	return fl
+}
+
+// TestMetricsEndToEnd draws through the router's HTTP surface and then
+// asserts both tiers' /metrics serve valid exposition carrying the
+// shared taxonomy with nonzero values, and that /v1/stats carries the
+// store-level fields the satellite adds.
+func TestMetricsEndToEnd(t *testing.T) {
+	R, S, l := srjtest.Data()
+	cfg := srjtest.Config{R: R, S: S, L: l}
+	fl := startObsFleet(t, cfg, 2, 100_000)
+	ctx := context.Background()
+	key := srj.EngineKey{Dataset: "conf", L: l, Seed: 5}
+	src := fl.client.Bind(key)
+
+	const drawT = 2000
+	if _, err := src.Draw(ctx, srj.Request{T: drawT}); err != nil {
+		t.Fatal(err)
+	}
+	// An update creates a dynamic store on every shard (broadcast) and
+	// bumps its generation, so the store families go live.
+	if _, err := src.Apply(ctx, srj.Update{InsertR: []srj.Point{{ID: 1 << 28, X: 1, Y: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Draw(ctx, srj.Request{T: drawT}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Router exposition.
+	rf := scrape(t, fl.routerURL)
+	if v, ok := sumSamples(rf, "srj_draw_duration_seconds_count"); !ok || v < 2 {
+		t.Errorf("router draw histogram count = %g (found %v), want >= 2", v, ok)
+	}
+	if v, ok := sumSamples(rf, "srj_draw_samples_total"); !ok || v < 2*drawT {
+		t.Errorf("router srj_draw_samples_total = %g, want >= %d", v, 2*drawT)
+	}
+	if v, ok := sumSamples(rf, "srj_requests_total"); !ok || v < 3 {
+		t.Errorf("router srj_requests_total = %g, want >= 3", v)
+	}
+	if v, ok := sumSamples(rf, "srj_router_backend_up"); !ok || v < 1 {
+		t.Errorf("srj_router_backend_up sum = %g (found %v), want >= 1 healthy backend", v, ok)
+	}
+	if _, ok := sumSamples(rf, "srj_router_backend_requests_total"); !ok {
+		t.Error("srj_router_backend_requests_total missing from router exposition")
+	}
+
+	// Backend expositions, summed across the fleet: wherever the ring
+	// sent the draws, the totals must add up.
+	var drawCount, samples, builds, stores, gen float64
+	for _, u := range fl.backendURLs {
+		bf := scrape(t, u)
+		v, _ := sumSamples(bf, "srj_draw_duration_seconds_count")
+		drawCount += v
+		v, _ = sumSamples(bf, "srj_draw_samples_total")
+		samples += v
+		v, _ = sumSamples(bf, "srj_registry_builds_total")
+		builds += v
+		v, _ = sumSamples(bf, "srj_stores")
+		stores += v
+		v, _ = sumSamples(bf, "srj_store_generation")
+		gen += v
+	}
+	if drawCount < 2 {
+		t.Errorf("backend draw histogram counts sum to %g, want >= 2", drawCount)
+	}
+	if samples < 2*drawT {
+		t.Errorf("backend srj_draw_samples_total sum to %g, want >= %d", samples, 2*drawT)
+	}
+	if builds < 1 {
+		t.Errorf("backend srj_registry_builds_total sum to %g, want >= 1", builds)
+	}
+	if stores != 2 { // the update broadcast creates one store per shard
+		t.Errorf("srj_stores sum to %g, want 2", stores)
+	}
+	if gen < 2 { // generation >= 1 on each shard
+		t.Errorf("srj_store_generation sum to %g, want >= 2", gen)
+	}
+
+	// The JSON surface: router-aggregated /v1/stats lists each shard's
+	// store with the backend attributed and the new store-level fields.
+	st, err := fl.client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Stores) != 2 {
+		t.Fatalf("aggregated stats list %d stores, want one per shard: %+v", len(st.Stores), st.Stores)
+	}
+	for _, info := range st.Stores {
+		if info.Backend == "" {
+			t.Errorf("aggregated store info missing backend attribution: %+v", info)
+		}
+		if info.Generation < 1 {
+			t.Errorf("store generation = %d, want >= 1", info.Generation)
+		}
+		if info.Key.Dataset != "conf" {
+			t.Errorf("store key = %+v", info.Key)
+		}
+	}
+}
+
+// TestRequestIDPropagation: a caller-supplied ID survives to the
+// server's access and slow-draw logs, and error values carry the ID
+// (caller-supplied or server-minted) back to the client.
+func TestRequestIDPropagation(t *testing.T) {
+	R, S, l := srjtest.Data()
+	buf := &syncBuffer{}
+	srv, err := srj.NewServer(&srj.ServerOptions{
+		Datasets: func(name string) ([]srj.Point, []srj.Point, error) {
+			return R, S, nil
+		},
+		MaxT:     10_000,
+		Logger:   slog.New(slog.NewJSONHandler(buf, &slog.HandlerOptions{Level: slog.LevelInfo})),
+		SlowDraw: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := srj.NewClientHTTP(ts.URL, confTransport(t))
+	src := cl.Bind(srj.EngineKey{Dataset: "conf", L: l, Seed: 3})
+
+	const callerID = "e2e-caller-id-1"
+	ctx := srj.WithRequestID(context.Background(), callerID)
+	if _, err := src.Draw(ctx, srj.Request{T: 100}); err != nil {
+		t.Fatal(err)
+	}
+	access := requestIDs(t, buf, "request")
+	if !contains(access, callerID) {
+		t.Errorf("access log does not carry the caller ID %q: %v", callerID, access)
+	}
+	slow := requestIDs(t, buf, "slow draw")
+	if !contains(slow, callerID) {
+		t.Errorf("slow-draw log does not carry the caller ID %q: %v", callerID, slow)
+	}
+
+	// A rejected draw (T over the cap) carries the caller's ID on the
+	// error value.
+	_, err = src.Draw(ctx, srj.Request{T: 20_000})
+	var apiErr *srj.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("over-cap draw: %v, want *APIError", err)
+	}
+	if apiErr.RequestID != callerID {
+		t.Errorf("APIError.RequestID = %q, want %q", apiErr.RequestID, callerID)
+	}
+	if !strings.Contains(apiErr.Error(), callerID) {
+		t.Errorf("APIError.Error() does not mention the ID: %q", apiErr.Error())
+	}
+
+	// Without a caller ID the server mints one; the error still
+	// carries it, and it appears in the access log.
+	_, err = src.Draw(context.Background(), srj.Request{T: 20_000})
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("over-cap draw: %v, want *APIError", err)
+	}
+	if apiErr.RequestID == "" {
+		t.Error("server-minted request ID missing from APIError")
+	}
+	if !contains(requestIDs(t, buf, "request"), apiErr.RequestID) {
+		t.Errorf("minted ID %q not in the access log", apiErr.RequestID)
+	}
+}
+
+// TestRequestIDAcrossFailover: one draw whose home shard dies
+// mid-stream. The ID the router minted must appear in the router's
+// access log, in its failover warning, and in the access logs of BOTH
+// backends the draw touched.
+func TestRequestIDAcrossFailover(t *testing.T) {
+	R, S, l := srjtest.Data()
+	cfg := srjtest.Config{R: R, S: S, L: l}
+	key := srj.EngineKey{Dataset: "conf", L: l, Seed: 11}
+	var kills atomic.Int32
+	fl := startObsFleetWithFlakyHome(t, cfg, 3, key, &kills)
+	src := fl.client.Bind(key)
+	ctx := context.Background()
+
+	kills.Store(1)
+	var got int
+	err := src.DrawFunc(ctx, srj.Request{T: 5000, Seed: 123}, func(batch []srj.Pair) error {
+		got += len(batch)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("draw with failover: %v", err)
+	}
+	if kills.Load() >= 1 {
+		t.Fatal("fault injector never fired")
+	}
+	if got != 5000 {
+		t.Fatalf("failover delivered %d samples, want 5000", got)
+	}
+
+	// The failover warning names the request; its ID is the one the
+	// router minted for the whole draw.
+	failoverIDs := requestIDs(t, fl.routerLog, "failover")
+	if len(failoverIDs) == 0 {
+		t.Fatalf("no failover log line with a request_id:\n%s", fl.routerLog.String())
+	}
+	rid := failoverIDs[0]
+	if !contains(requestIDs(t, fl.routerLog, "request"), rid) {
+		t.Errorf("failover ID %q missing from the router access log", rid)
+	}
+	// Both the dying home shard and the shard that finished the draw
+	// logged the same ID.
+	hops := 0
+	for i, buf := range fl.backendLogs {
+		if contains(requestIDs(t, buf, "request"), rid) {
+			hops++
+		} else if fl.backendURLs[i] == fl.router.Locate(key) {
+			t.Logf("backend %d (%s) log:\n%s", i, fl.backendURLs[i], buf.String())
+		}
+	}
+	if hops < 2 {
+		t.Errorf("request ID %q seen on %d backends, want the failed hop and the failover hop (>= 2)", rid, hops)
+	}
+}
+
+// startObsFleetWithFlakyHome is startObsFleet with the key's home
+// shard wrapped in the mid-stream fault injector.
+func startObsFleetWithFlakyHome(t *testing.T, cfg srjtest.Config, n int, key srj.EngineKey, kills *atomic.Int32) *obsFleet {
+	t.Helper()
+	fl := &obsFleet{}
+	addrs := make([]string, n)
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		buf := &syncBuffer{}
+		srv, err := srj.NewServer(&srj.ServerOptions{
+			Datasets: func(name string) ([]srj.Point, []srj.Point, error) {
+				return cfg.R, cfg.S, nil
+			},
+			MaxT:   100_000,
+			Logger: slog.New(slog.NewJSONHandler(buf, &slog.HandlerOptions{Level: slog.LevelInfo})),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(srv)
+		ts.Start()
+		t.Cleanup(ts.Close)
+		servers[i] = ts
+		addrs[i] = ts.URL
+		fl.backendLogs = append(fl.backendLogs, buf)
+	}
+	fl.backendURLs = addrs
+	fl.routerLog = &syncBuffer{}
+	rt, err := srj.NewRouter(addrs, srj.RouterOptions{
+		HTTPClient:    confTransport(t),
+		ProbeInterval: -1,
+		Logger:        slog.New(slog.NewJSONHandler(fl.routerLog, &slog.HandlerOptions{Level: slog.LevelInfo})),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	fl.router = rt
+	home := rt.Locate(key)
+	for i, a := range addrs {
+		if a == home {
+			servers[i].Config.Handler = flakyBackend(t, servers[i].Config.Handler, kills)
+		}
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	fl.routerURL = rts.URL
+	fl.client = srj.NewClientHTTP(rts.URL, confTransport(t))
+	return fl
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

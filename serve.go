@@ -9,6 +9,7 @@ package srj
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"sync"
@@ -16,10 +17,26 @@ import (
 
 	"repro/internal/dynamic"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/router"
 	"repro/internal/server"
 )
+
+// RequestIDHeader is the header carrying the fleet's request ID
+// across every hop (client → router → backend); servers mint one when
+// the caller does not supply it, and every response echoes it.
+const RequestIDHeader = obs.RequestIDHeader
+
+// WithRequestID returns a context carrying a request ID: a Client
+// draw with this context sends the ID upstream, so one ID names the
+// whole path of a draw in every tier's logs and error values.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string { return obs.RequestIDFrom(ctx) }
 
 // EngineKey identifies one cacheable engine on a Server: the named
 // dataset pair, the window half-extent, the algorithm, and the
@@ -99,6 +116,14 @@ type ServerOptions struct {
 	// Timeout bounds one request end to end, engine build included
 	// (default 30s).
 	Timeout time.Duration
+	// Logger receives the server's structured logs (access log at
+	// Info, slow draws at Warn). nil disables logging.
+	Logger *slog.Logger
+	// SlowDraw, when positive, logs draws slower than it at Warn with
+	// full attribution: request ID, key, generation, acceptance rate.
+	SlowDraw time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Server is the serving subsystem as an embeddable http.Handler:
@@ -226,7 +251,15 @@ func NewServer(opts *ServerOptions) (*Server, error) {
 		return eng.e, nil
 	}
 	reg = registry.New(build, o.MemoryBudget)
-	h, err := server.New(server.Config{Registry: reg, Stores: stores, MaxT: o.MaxT, Timeout: o.Timeout})
+	h, err := server.New(server.Config{
+		Registry:    reg,
+		Stores:      stores,
+		MaxT:        o.MaxT,
+		Timeout:     o.Timeout,
+		Logger:      o.Logger,
+		SlowDraw:    o.SlowDraw,
+		EnablePprof: o.EnablePprof,
+	})
 	if err != nil {
 		return nil, err
 	}
