@@ -47,6 +47,12 @@ import (
 var paperOrder = []string{"table2", "figure4", "accuracy", "table3", "table4",
 	"figure5", "figure6", "figure7", "figure8", "figure9"}
 
+// baselineSeedOffset displaces the rebuild-baseline's throwaway
+// registry keys far from any seed a user would pass by hand, so the
+// baseline never collides with the bench key (or an interactively
+// warmed engine) on a shared server.
+const baselineSeedOffset = uint64(1) << 32
+
 // run executes srjbench with explicit arguments and output so tests
 // can drive it directly. Cancelling ctx (main wires it to SIGINT and
 // SIGTERM) stops the run cleanly between experiments and between
@@ -58,7 +64,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		base    = fs.Int("base", 50000, "base dataset size; the four datasets use base, 2x, 4x, 8x")
 		t       = fs.Int("t", 100000, "number of samples per run (the paper's t, scaled)")
 		l       = fs.Float64("l", 100, "window half-extent (the paper's l)")
-		seed    = fs.Uint64("seed", 1, "seed for data generation and sampling")
+		seed    = fs.Uint64("seed", 1, "seed for data generation and sampling; also bases the serve mode rebuild-baseline key space, so runs are reproducible (0 = derive from the clock for guaranteed-fresh keys)")
 		expList = fs.String("exp", "", "comma-separated experiments to run (default: all)")
 		format  = fs.String("format", "table", "output format: table or csv")
 		list    = fs.Bool("list", false, "list experiment names and exit")
@@ -489,7 +495,8 @@ func (t routerTarget) evict(ctx context.Context, key srj.EngineKey) (bool, error
 	return t.rt.EvictEngine(ctx, key)
 }
 func (t routerTarget) apply(ctx context.Context, key srj.EngineKey, u srj.Update) (uint64, error) {
-	return t.rt.ApplyUpdate(ctx, key, u)
+	res, err := t.rt.ApplyUpdate(ctx, key, u)
+	return res.Generation, err
 }
 func (t routerTarget) printStats(ctx context.Context, stdout io.Writer) error {
 	// ServerStats returns whatever the reachable backends answered
@@ -647,12 +654,18 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 
 	// Rebuild-per-request baseline: a distinct seed per request is a
 	// distinct registry key, so the server pays a full preprocessing
-	// pass for every one. The seed base is this run's wall clock —
-	// a fixed base would collide with a previous run's keys on a
-	// long-lived server and silently measure cache hits instead of
-	// rebuilds. Two requests per client keep the baseline affordable.
+	// pass for every one. The seed base derives from -seed (offset far
+	// from the bench key's own seed) so runs are reproducible; a clean
+	// run evicts its throwaway engines below, so repeated runs rebuild
+	// rather than silently measuring cache hits. -seed 0 falls back to
+	// the wall clock: guaranteed-fresh keys even after a crashed run
+	// stranded engines in a long-lived server's cache. Two requests
+	// per client keep the baseline affordable.
 	const baselineRequests = 2
-	seedBase := uint64(time.Now().UnixNano())
+	seedBase := cfg.seed + baselineSeedOffset
+	if cfg.seed == 0 {
+		seedBase = uint64(time.Now().UnixNano())
+	}
 	var seedCounter atomic.Uint64
 	// The baseline's throwaway engines would otherwise crowd a
 	// long-lived server's cache; evict whatever was inserted on every

@@ -63,6 +63,8 @@ type config struct {
 	slowDraw time.Duration
 	pprof    bool
 	logLevel string
+	dataDir  string
+	fsync    string
 }
 
 // parseFlags reads the command line into a config.
@@ -81,6 +83,8 @@ func parseFlags(args []string, stdout io.Writer) (*config, error) {
 	fs.DurationVar(&cfg.slowDraw, "slow-draw", 0, "log draws slower than this at Warn with full attribution (0 = off)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.StringVar(&cfg.logLevel, "log-level", "warn", "structured log level: debug, info, warn, error, or off")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "directory for write-ahead logs and snapshots; updates recover across restarts (empty = in-memory only)")
+	fs.StringVar(&cfg.fsync, "fsync", "always", "when log appends reach disk: always, interval, or off (needs -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -156,6 +160,8 @@ func buildServer(cfg *config, logger *slog.Logger) (*srj.Server, error) {
 		Logger:       logger,
 		SlowDraw:     cfg.slowDraw,
 		EnablePprof:  cfg.pprof,
+		DataDir:      cfg.dataDir,
+		FsyncPolicy:  cfg.fsync,
 	}
 	if len(loaded) > 0 {
 		builtin := srj.BuiltinDatasets(cfg.n, cfg.dseed)
@@ -224,6 +230,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 	if err != nil {
 		return err
 	}
+	// Shutdown order matters: the HTTP server drains first (below),
+	// then the deferred Close syncs and closes the write-ahead logs.
+	defer srv.Close()
 	warmKeys, err := parseWarm(cfg.warm)
 	if err != nil {
 		return err

@@ -139,6 +139,20 @@ type Config struct {
 	// Name labels the store's samplers in engine stats (default
 	// "dynamic").
 	Name string
+	// Persister, when non-nil, is the write-ahead durability hook (see
+	// persist.go): every applied batch is appended before its view
+	// publishes, and rebuild swaps persist a base snapshot. May also be
+	// installed after construction with SetPersister (recovery does,
+	// so replayed records are not re-appended).
+	Persister Persister
+	// InitialGeneration seeds the store's generation (recovery resumes
+	// at the snapshot's generation instead of 0, so pre-crash cache
+	// keys can never alias post-recovery contents).
+	InitialGeneration uint64
+	// InitialLastApplied seeds the last applied update ID (recovery
+	// resumes at the snapshot's coverage; replayed records continue
+	// from there).
+	InitialLastApplied uint64
 }
 
 func (c Config) rebuildFraction() float64 {
@@ -160,6 +174,9 @@ func (c Config) maxRejects() int {
 // mixture. Draws load it atomically; writers replace it wholesale.
 type view struct {
 	gen uint64
+	// lastID is the last sequenced update ID folded into this view —
+	// what a snapshot of this view's materialized base covers.
+	lastID uint64
 
 	baseR, baseS     []geom.Point
 	baseIDR, baseIDS map[int32]struct{}
@@ -191,9 +208,12 @@ type Store struct {
 
 	mu             sync.Mutex
 	log            []Update // updates absorbed since the current base was built
+	lastApplied    uint64   // last sequenced update ID (persist.go)
+	gap            map[uint64]*gapWaiter
 	rebuilding     bool
 	rebuildDone    chan struct{}
 	lastRebuildErr error
+	lastPersistErr error
 	acc            engine.Stats // counters of retired view engines
 
 	// rebuilds counts base rebuilds that swapped in successfully
@@ -228,9 +248,10 @@ func NewStore(R, S []geom.Point, cfg Config) (*Store, error) {
 	if err := validFinite(S, "S"); err != nil {
 		return nil, err
 	}
-	st := &Store{cfg: cfg}
+	st := &Store{cfg: cfg, lastApplied: cfg.InitialLastApplied}
 	v := &view{
-		gen:     0,
+		gen:     cfg.InitialGeneration,
+		lastID:  cfg.InitialLastApplied,
 		baseR:   R,
 		baseS:   S,
 		baseIDR: idSet(R),
@@ -428,38 +449,12 @@ func (st *Store) finishView(v *view) error {
 // generation probe). Crossing the rebuild threshold schedules a
 // background base rebuild; Apply itself stays O(base count) in the
 // worst case (delta re-counting), never a bulk build.
+//
+// Apply self-stamps the next update ID — it is ApplyAt(ctx, 0, u),
+// the single-writer spelling of the sequenced path in persist.go.
 func (st *Store) Apply(ctx context.Context, u Update) (uint64, error) {
-	if err := u.Validate(); err != nil {
-		return 0, err
-	}
-	if u.Empty() {
-		return st.Generation(), nil
-	}
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	cur := st.view.Load()
-	nv := &view{
-		gen:      cur.gen + 1,
-		baseR:    cur.baseR,
-		baseS:    cur.baseS,
-		baseIDR:  cur.baseIDR,
-		baseIDS:  cur.baseIDS,
-		base:     cur.base,
-		baseMass: cur.baseMass,
-		donorS:   cur.donorS,
-	}
-	nv.insR, nv.delR = applyOps(cur.insR, cur.delR, cur.baseIDR, u.InsertR, u.DeleteR)
-	nv.insS, nv.delS = applyOps(cur.insS, cur.delS, cur.baseIDS, u.InsertS, u.DeleteS)
-	if err := st.finishView(nv); err != nil {
-		return 0, err
-	}
-	st.log = append(st.log, u)
-	st.swapLocked(nv)
-	st.maybeRebuildLocked(nv)
-	return nv.gen, nil
+	res, err := st.ApplyAt(ctx, 0, u)
+	return res.Generation, err
 }
 
 // applyOps derives one side's new insert buffer and tombstone set
@@ -569,14 +564,15 @@ func (st *Store) rebuild(v *view, snap int, done chan struct{}) {
 	buildErr := st.buildBaseInto(nv) // the expensive bulk build, outside mu
 
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	st.rebuilding = false
 	if buildErr != nil {
 		st.lastRebuildErr = buildErr
+		st.mu.Unlock()
 		return
 	}
 	cur := st.view.Load()
 	nv.gen = cur.gen + 1
+	nv.lastID = cur.lastID
 	pending := st.log[snap:]
 	for _, u := range pending {
 		nv.insR, nv.delR = applyOps(nv.insR, nv.delR, nv.baseIDR, u.InsertR, u.DeleteR)
@@ -584,6 +580,7 @@ func (st *Store) rebuild(v *view, snap int, done chan struct{}) {
 	}
 	if err := st.finishView(nv); err != nil {
 		st.lastRebuildErr = err
+		st.mu.Unlock()
 		return
 	}
 	st.lastRebuildErr = nil
@@ -593,6 +590,19 @@ func (st *Store) rebuild(v *view, snap int, done chan struct{}) {
 	// The pending tail can itself exceed the threshold under heavy
 	// write load; check once so compaction keeps up.
 	st.maybeRebuildLocked(nv)
+	p := st.cfg.Persister
+	st.mu.Unlock()
+	if p == nil {
+		return
+	}
+	// Persist the compacted base outside the lock. The snapshot covers
+	// the *source view's* lastID, not the swap-time one: the pending
+	// tail replayed above is still in the log (pruning stops at
+	// v.lastID), so a crash right here replays it onto this base.
+	err := p.Snapshot(nv.gen, v.lastID, R, S)
+	st.mu.Lock()
+	st.lastPersistErr = err
+	st.mu.Unlock()
 }
 
 // materialize flattens one side: base minus tombstones plus inserts.

@@ -2,6 +2,7 @@ package dynamic
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -116,11 +117,41 @@ func (s *Stores) get(ctx context.Context, key registry.Key) (*Store, error) {
 // Apply routes one update batch to key's store, creating the store on
 // first use, and returns the new generation.
 func (s *Stores) Apply(ctx context.Context, key registry.Key, u Update) (uint64, error) {
+	res, err := s.ApplyAt(ctx, key, 0, u)
+	return res.Generation, err
+}
+
+// ApplyAt routes one sequenced update batch (see Store.ApplyAt) to
+// key's store, creating the store on first use.
+func (s *Stores) ApplyAt(ctx context.Context, key registry.Key, id uint64, u Update) (ApplyResult, error) {
 	st, err := s.get(ctx, key)
 	if err != nil {
-		return 0, err
+		return ApplyResult{}, err
 	}
-	return st.Apply(ctx, u)
+	return st.ApplyAt(ctx, id, u)
+}
+
+// Adopt publishes an externally-built store for key — the recovery
+// path hands over stores it restored from snapshot + log replay, so
+// the first update (or stats scrape) sees the recovered state instead
+// of triggering the factory's cold build. Adopting over a key that
+// already has a store (or one mid-creation) is refused: two stores
+// for one key would fork the generation sequence.
+func (s *Stores) Adopt(key registry.Key, st *Store) error {
+	if st == nil {
+		return fmt.Errorf("dynamic: Adopt called with a nil store")
+	}
+	key = stripGen(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; ok {
+		return fmt.Errorf("dynamic: store for %s already exists", key)
+	}
+	e := &storeEntry{done: make(chan struct{})}
+	e.st.Store(st)
+	close(e.done)
+	s.m[key] = e
+	return nil
 }
 
 // StoreInfo is the observable state of one live store, served on
@@ -139,6 +170,17 @@ type StoreInfo struct {
 	Rebuilds      uint64       `json:"rebuilds"`
 	SizeBytes     int          `json:"size_bytes"`
 	Engine        engine.Stats `json:"engine"`
+
+	// Durability surface (persist.go / internal/wal). LastAppliedID is
+	// meaningful on every store; the WAL fields stay zero when the
+	// store runs without a persister.
+	LastAppliedID  uint64 `json:"last_applied_update_id"`
+	WALSegments    int    `json:"wal_segments,omitempty"`
+	WALBytes       int64  `json:"wal_bytes,omitempty"`
+	WALAppends     uint64 `json:"wal_appends,omitempty"`
+	WALSyncs       uint64 `json:"wal_syncs,omitempty"`
+	WALSnapshots   uint64 `json:"wal_snapshots,omitempty"`
+	LastSnapshotID uint64 `json:"last_snapshot_id,omitempty"`
 }
 
 // Infos snapshots every created store. Stores mid-creation are not
@@ -166,7 +208,7 @@ func (s *Stores) Infos() []StoreInfo {
 		if st == nil {
 			continue
 		}
-		out = append(out, StoreInfo{
+		info := StoreInfo{
 			Key:           keys[j],
 			Generation:    st.Generation(),
 			DeltaFraction: st.DeltaFraction(),
@@ -174,7 +216,17 @@ func (s *Stores) Infos() []StoreInfo {
 			Rebuilds:      st.Rebuilds(),
 			SizeBytes:     st.SizeBytes(),
 			Engine:        st.Stats(),
-		})
+			LastAppliedID: st.LastApplied(),
+		}
+		if ps, ok := st.PersistStats(); ok {
+			info.WALSegments = ps.Segments
+			info.WALBytes = ps.Bytes
+			info.WALAppends = ps.Appends
+			info.WALSyncs = ps.Syncs
+			info.WALSnapshots = ps.Snapshots
+			info.LastSnapshotID = ps.LastSnapshotID
+		}
+		out = append(out, info)
 	}
 	return out
 }

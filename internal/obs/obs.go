@@ -80,6 +80,21 @@ const (
 	MetricStorePendingOps    = "srj_store_pending_ops"
 	MetricStoreRebuilds      = "srj_store_rebuilds_total"
 
+	// The durability family (internal/wal). All key-free aggregates
+	// over the process's persisted stores, like the store family:
+	// counters sum per-store counters (stores are never dropped from
+	// the map, so the sums are monotonic); segments/bytes are gauges —
+	// snapshot pruning legitimately shrinks them.
+	MetricWALAppends   = "srj_wal_appends_total"
+	MetricWALSyncs     = "srj_wal_syncs_total"
+	MetricWALSnapshots = "srj_wal_snapshots_total"
+	MetricWALSegments  = "srj_wal_segments"
+	MetricWALBytes     = "srj_wal_bytes"
+	// MetricStoreLastApplied is the highest last-applied update ID
+	// across stores — the fleet-convergence signal: after a broadcast,
+	// every shard's value agrees.
+	MetricStoreLastApplied = "srj_store_last_applied_update_id"
+
 	MetricRouterBackendUp       = "srj_router_backend_up"
 	MetricRouterBackendRequests = "srj_router_backend_requests_total"
 	MetricRouterBackendFailures = "srj_router_backend_failures_total"

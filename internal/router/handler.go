@@ -188,17 +188,20 @@ func (r *Router) streamBinary(req *http.Request, w http.ResponseWriter, bound *B
 	}
 }
 
-// handleUpdate broadcasts one mutation batch across the fleet — the
-// body and response are exactly srjserver's POST /v1/update. A
+// handleUpdate sequences and broadcasts one mutation batch across the
+// fleet — the body and response are exactly srjserver's POST
+// /v1/update, with the stamped update ID in the response. A request
+// already carrying an update ID (the UpdateIDHeader) is a retry: it
+// re-broadcasts at that exact ID instead of stamping a fresh one. A
 // partial broadcast is an error: unlike eviction, an update a shard
 // missed leaves that shard serving deleted points, so the client must
-// know.
+// know — and the echoed update ID is what makes its retry idempotent.
 func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	ureq, ok := server.DecodeUpdateRequest(w, req, 0)
 	if !ok {
 		return
 	}
-	gen, err := r.ApplyUpdate(req.Context(), ureq.Key(), ureq.Ops())
+	res, err := r.ApplyUpdateAt(req.Context(), ureq.Key(), ureq.UpdateID, ureq.Ops())
 	if err != nil {
 		var apiErr *server.APIError
 		if errors.As(err, &apiErr) {
@@ -208,11 +211,15 @@ func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		server.WriteError(w, http.StatusBadGateway, server.CodeInternal,
-			"updating %s (fleet at generation %d): %v", ureq.Key(), gen, err)
+			"updating %s (fleet at generation %d, update %d): %v", ureq.Key(), res.Generation, res.UpdateID, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(server.UpdateResponse{Generation: gen, Ops: ureq.Ops().Ops()})
+	json.NewEncoder(w).Encode(server.UpdateResponse{
+		Generation: res.Generation,
+		Ops:        ureq.Ops().Ops(),
+		UpdateID:   res.UpdateID,
+	})
 }
 
 // handleStats aggregates the fleet into srjserver's StatsResponse

@@ -125,6 +125,21 @@ type Router struct {
 	mu          sync.Mutex
 	keys        map[registry.Key]*keyCounter
 	keysDropped uint64
+
+	// Per-key update sequencing (see ApplyUpdate). seqMu guards the
+	// map; each keySeq serializes stamping for its key.
+	seqMu sync.Mutex
+	seq   map[registry.Key]*keySeq
+}
+
+// keySeq is the update-ID counter of one dataset key. init false
+// means the next stamp must first probe the fleet for its highest
+// last-applied ID — at first use, and again after any broadcast
+// failure left the fleet state uncertain.
+type keySeq struct {
+	mu   sync.Mutex
+	init bool
+	next uint64
 }
 
 // New returns a router over the given backend base URLs (e.g.
@@ -157,6 +172,7 @@ func New(backends []string, opts Options) (*Router, error) {
 		ring:     buildRing(addrs, opts.VNodes),
 		start:    time.Now(),
 		keys:     make(map[registry.Key]*keyCounter),
+		seq:      make(map[registry.Key]*keySeq),
 		logger:   opts.Logger,
 		pprof:    opts.EnablePprof,
 		drawHist: obs.NewHistogram(obs.DrawDurationBuckets),
@@ -589,45 +605,153 @@ func (r *Router) EvictEngine(ctx context.Context, key registry.Key) (evicted boo
 	return evicted, err
 }
 
-// ApplyUpdate broadcasts one insert/delete batch for key to every
-// backend (concurrently, reusing the EvictEngine fan-out) and returns
-// the highest generation any backend reports. It broadcasts rather
-// than routing for the same reason eviction does — failover means any
-// ring successor may be serving the key, and a shard whose store
-// missed an update would serve deleted points after the next
-// failover — plus one more: the key's sibling keys (same dataset,
-// different l) live on other shards, and a replicated update stream
-// keeps every shard's store serving the same point sets.
+// UpdateResult reports one fleet-wide update: the highest generation
+// any backend answered with, and the update ID the batch was
+// sequenced at (for an empty probe, the fleet's highest last-applied
+// ID).
+type UpdateResult struct {
+	Generation uint64
+	UpdateID   uint64
+}
+
+// ApplyUpdate sequences and broadcasts one insert/delete batch for
+// key to every backend. It broadcasts rather than routing for the
+// same reason eviction does — failover means any ring successor may
+// be serving the key, and a shard whose store missed an update would
+// serve deleted points after the next failover — plus one more: the
+// key's sibling keys (same dataset, different l) live on other
+// shards, and a replicated update stream keeps every shard's store
+// serving the same point sets.
 //
-// Ordering is the caller's: the router does not sequence concurrent
-// updaters, so two ApplyUpdates racing from different clients may
-// reach the backends in different orders — if both touch the same
-// point ID, the shards' live sets can diverge until a later update
-// or operator intervention reconciles them. A single writer per
-// dataset (or batches over disjoint IDs, which commute) keeps the
-// shards exact replicas; fleet-wide update sequencing is a ROADMAP
-// follow-on. err reports backends that could not apply; gen
-// alongside a non-nil err means the fleet is split across
-// generations until the backend recovers and re-converges through
-// its own update stream.
-func (r *Router) ApplyUpdate(ctx context.Context, key registry.Key, u dynamic.Update) (gen uint64, err error) {
+// The router is the dataset's sequencer: each non-empty batch is
+// stamped with the next per-key update ID (seeded from the fleet's
+// highest last-applied ID the first time a key is stamped — so a
+// restarted router resumes the sequence, never restarts it) and
+// backends apply strictly in ID order, parking small reorderings in a
+// gap buffer and acknowledging duplicates idempotently. Concurrent
+// ApplyUpdates through ONE router therefore commute onto every shard
+// in the same order — byte-identical replicas hold for multi-writer
+// traffic. Run one router per dataset's write path; two routers
+// stamping the same key independently would fork the sequence.
+//
+// err reports backends that could not apply. The result's UpdateID
+// alongside a non-nil err is the healing handle: re-applying the same
+// batch at that explicit ID (ApplyUpdateAt) is idempotent on backends
+// that took it and fills the gap on backends that did not. After any
+// failed broadcast the sequencer re-probes the fleet before stamping
+// again, so an aborted stamp cannot leave a permanent hole.
+func (r *Router) ApplyUpdate(ctx context.Context, key registry.Key, u dynamic.Update) (UpdateResult, error) {
 	key = normalizeKey(key)
+	if u.Empty() {
+		// A probe consults the fleet without consuming an ID.
+		return r.broadcastUpdate(ctx, key, u, 0)
+	}
+	ks := r.keySeqFor(key)
+	ks.mu.Lock()
+	if !ks.init {
+		last, err := r.probeSeq(ctx, key)
+		if err != nil {
+			ks.mu.Unlock()
+			return UpdateResult{}, err
+		}
+		ks.next = last + 1
+		ks.init = true
+	}
+	id := ks.next
+	ks.next++
+	ks.mu.Unlock()
+	// The stamp is taken before the fan-out and the lock is NOT held
+	// across it: concurrent updates broadcast in parallel and may
+	// arrive at a backend reordered — its gap buffer restores ID
+	// order. What the lock guarantees is unique, gapless stamping.
+	res, err := r.applyAt(ctx, key, id, u)
+	if err != nil {
+		// Some backends may hold the update, others not; re-probe
+		// before the next stamp so the sequence re-converges on what
+		// the fleet actually applied.
+		ks.mu.Lock()
+		ks.init = false
+		ks.mu.Unlock()
+	}
+	return res, err
+}
+
+// ApplyUpdateAt broadcasts a batch at an explicit update ID — the
+// retry path. A client that got an error carrying a stamped ID (or a
+// sequencer of record replaying history) re-applies at the same ID:
+// backends that already hold it acknowledge idempotently, backends
+// with a gap fill it.
+func (r *Router) ApplyUpdateAt(ctx context.Context, key registry.Key, id uint64, u dynamic.Update) (UpdateResult, error) {
+	key = normalizeKey(key)
+	if id == 0 || u.Empty() {
+		return r.ApplyUpdate(ctx, key, u)
+	}
+	ks := r.keySeqFor(key)
+	ks.mu.Lock()
+	if ks.init && id >= ks.next {
+		// Never re-stamp an ID the caller has already used.
+		ks.next = id + 1
+	}
+	ks.mu.Unlock()
+	return r.applyAt(ctx, key, id, u)
+}
+
+// applyAt broadcasts a stamped batch; the result always carries the
+// stamp, even when every backend failed, so callers (and the HTTP
+// error body) can hand it back for an idempotent retry.
+func (r *Router) applyAt(ctx context.Context, key registry.Key, id uint64, u dynamic.Update) (UpdateResult, error) {
+	res, err := r.broadcastUpdate(ctx, key, u, id)
+	res.UpdateID = id
+	return res, err
+}
+
+// keySeqFor returns (creating) the sequencer state of one key.
+func (r *Router) keySeqFor(key registry.Key) *keySeq {
+	r.seqMu.Lock()
+	defer r.seqMu.Unlock()
+	ks, ok := r.seq[key]
+	if !ok {
+		ks = &keySeq{}
+		r.seq[key] = ks
+	}
+	return ks
+}
+
+// probeSeq asks every backend for its last applied update ID (an
+// empty update is the probe) and returns the fleet maximum. Every
+// backend must answer: seeding the counter below an unreachable
+// backend's high-water mark could re-stamp an ID it already holds
+// with different contents, the one unrecoverable sequencing mistake.
+func (r *Router) probeSeq(ctx context.Context, key registry.Key) (uint64, error) {
+	res, err := r.broadcastUpdate(ctx, key, dynamic.Update{}, 0)
+	if err != nil {
+		return 0, fmt.Errorf("router: seeding update sequence for %s: %w", key, err)
+	}
+	return res.UpdateID, nil
+}
+
+// broadcastUpdate fans one update (stamped with id when non-zero) out
+// to every backend and folds the responses.
+func (r *Router) broadcastUpdate(ctx context.Context, key registry.Key, u dynamic.Update, id uint64) (UpdateResult, error) {
 	ureq := server.UpdateRequest{
 		Dataset:   key.Dataset,
 		L:         key.L,
 		Algorithm: key.Algorithm,
 		Seed:      key.Seed,
+		UpdateID:  id,
 		InsertR:   u.InsertR,
 		InsertS:   u.InsertS,
 		DeleteR:   u.DeleteR,
 		DeleteS:   u.DeleteS,
 	}
-	gens := make([]uint64, len(r.backends))
+	resps := make([]server.UpdateResponse, len(r.backends))
 	errs := r.broadcast(func(i int, b *backend) error {
 		resp, err := b.client.ApplyUpdate(ctx, ureq)
-		gens[i] = resp.Generation
+		resps[i] = resp
 		return err
 	})
+	var res UpdateResult
+	var err error
 	for i := range r.backends {
 		if errs[i] != nil {
 			if err == nil {
@@ -635,18 +759,22 @@ func (r *Router) ApplyUpdate(ctx context.Context, key registry.Key, u dynamic.Up
 			}
 			continue
 		}
-		if gens[i] > gen {
-			gen = gens[i]
+		if resps[i].Generation > res.Generation {
+			res.Generation = resps[i].Generation
+		}
+		if resps[i].UpdateID > res.UpdateID {
+			res.UpdateID = resps[i].UpdateID
 		}
 	}
-	return gen, err
+	return res, err
 }
 
 // Apply serves the bound key's update path (the srjtest.Updatable
-// contract): the batch broadcasts to every shard and the new
-// generation comes back.
+// contract): the batch is sequenced, broadcast to every shard, and
+// the new generation comes back.
 func (b *Bound) Apply(ctx context.Context, u dynamic.Update) (uint64, error) {
-	return b.r.ApplyUpdate(ctx, b.key, u)
+	res, err := b.r.ApplyUpdate(ctx, b.key, u)
+	return res.Generation, err
 }
 
 // ServerStats fetches /v1/stats from every backend concurrently,

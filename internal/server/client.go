@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/geom"
@@ -236,6 +237,11 @@ func (c *Client) ApplyUpdate(ctx context.Context, req UpdateRequest) (UpdateResp
 		return out, err
 	}
 	hr.Header.Set("Content-Type", contentType)
+	if req.UpdateID != 0 {
+		// Sequencing metadata travels as a header on both encodings;
+		// see UpdateIDHeader.
+		hr.Header.Set(UpdateIDHeader, strconv.FormatUint(req.UpdateID, 10))
+	}
 	injectRequestID(ctx, hr)
 	resp, err := c.hc.Do(hr)
 	if err != nil {

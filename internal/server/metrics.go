@@ -91,19 +91,32 @@ func (s *Server) collectMetrics(m *obs.MetricSet) {
 	if len(infos) == 0 {
 		return
 	}
-	var maxGen uint64
+	var maxGen, maxApplied uint64
 	var maxDelta float64
 	var pending int
 	var rebuilds uint64
+	var walAppends, walSyncs, walSnapshots uint64
+	var walSegments int
+	var walBytes int64
+	persisted := false
 	for _, in := range infos {
 		if in.Generation > maxGen {
 			maxGen = in.Generation
+		}
+		if in.LastAppliedID > maxApplied {
+			maxApplied = in.LastAppliedID
 		}
 		if in.DeltaFraction > maxDelta {
 			maxDelta = in.DeltaFraction
 		}
 		pending += in.PendingOps
 		rebuilds += in.Rebuilds
+		persisted = persisted || in.WALSegments > 0 || in.WALAppends > 0 || in.WALSnapshots > 0
+		walAppends += in.WALAppends
+		walSyncs += in.WALSyncs
+		walSnapshots += in.WALSnapshots
+		walSegments += in.WALSegments
+		walBytes += in.WALBytes
 	}
 	m.Gauge(obs.MetricStoreGeneration, "Highest store generation.", float64(maxGen))
 	m.Gauge(obs.MetricStoreDeltaFraction, "Largest store delta fraction (the rebuild-threshold ratio).", maxDelta)
@@ -111,4 +124,15 @@ func (s *Server) collectMetrics(m *obs.MetricSet) {
 	// Stores are never dropped from the map, so this sum of per-store
 	// counters is monotonic and may be exported as a counter.
 	m.Counter(obs.MetricStoreRebuilds, "Store base rebuilds swapped in.", float64(rebuilds))
+	m.Gauge(obs.MetricStoreLastApplied, "Highest last-applied update ID across stores.", float64(maxApplied))
+	if persisted {
+		// Durability families appear only on servers running with a
+		// data dir, so a dashboard's absence-of-series alert means "no
+		// durability configured", not "zero activity".
+		m.Counter(obs.MetricWALAppends, "Update records written ahead to the log.", float64(walAppends))
+		m.Counter(obs.MetricWALSyncs, "Log fsyncs issued.", float64(walSyncs))
+		m.Counter(obs.MetricWALSnapshots, "Point-set snapshots persisted.", float64(walSnapshots))
+		m.Gauge(obs.MetricWALSegments, "Live log segments across stores.", float64(walSegments))
+		m.Gauge(obs.MetricWALBytes, "Live log bytes across stores.", float64(walBytes))
+	}
 }

@@ -37,6 +37,7 @@ func TestSentinelRoundTrip(t *testing.T) {
 		{"empty_join", core.ErrEmptyJoin, CodeEmptyJoin, http.StatusUnprocessableEntity, true},
 		{"low_acceptance", core.ErrLowAcceptance, CodeLowAcceptance, http.StatusInternalServerError, true},
 		{"stale_generation", dynamic.ErrStaleGeneration, CodeStaleGeneration, http.StatusConflict, true},
+		{"update_sequence", dynamic.ErrUpdateSequence, CodeUpdateSequence, http.StatusConflict, true},
 		{"timeout", context.DeadlineExceeded, CodeTimeout, http.StatusGatewayTimeout, true},
 		{"canceled", context.Canceled, CodeCanceled, 499, true},
 	}

@@ -268,9 +268,14 @@ const (
 	// server retries internally; a client that still sees it can
 	// simply retry — the condition is transient by construction.
 	CodeStaleGeneration = "stale_generation"
-	CodeTimeout         = "timeout"  // request deadline exceeded
-	CodeCanceled        = "canceled" // request context canceled
-	CodeInternal        = "internal" // anything else
+	// CodeUpdateSequence reports an update ID the store could not
+	// apply in order (dynamic.ErrUpdateSequence): too far ahead of the
+	// last applied ID, or a gap whose predecessor never arrived. The
+	// stamping sequencer (the router) re-probes the fleet and retries.
+	CodeUpdateSequence = "update_sequence"
+	CodeTimeout        = "timeout"  // request deadline exceeded
+	CodeCanceled       = "canceled" // request context canceled
+	CodeInternal       = "internal" // anything else
 )
 
 // errorResponse is the JSON body of every non-2xx answer.
@@ -312,6 +317,9 @@ func StatusFor(err error) int {
 		// The dataset generation moved mid-request; the state the
 		// client addressed conflicts with the store's. Retryable.
 		return http.StatusConflict
+	case errors.Is(err, dynamic.ErrUpdateSequence):
+		// The update's ID conflicts with the store's sequence state.
+		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -345,6 +353,7 @@ var codeSentinels = []struct {
 	{CodeEmptyJoin, core.ErrEmptyJoin},
 	{CodeLowAcceptance, core.ErrLowAcceptance},
 	{CodeStaleGeneration, dynamic.ErrStaleGeneration},
+	{CodeUpdateSequence, dynamic.ErrUpdateSequence},
 	{CodeTimeout, context.DeadlineExceeded},
 	{CodeCanceled, context.Canceled},
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/dynamic"
 	"repro/internal/engine"
@@ -48,6 +49,13 @@ type UpdateRequest struct {
 	L         float64 `json:"l"`
 	Algorithm string  `json:"algorithm,omitempty"`
 	Seed      uint64  `json:"seed,omitempty"`
+
+	// UpdateID sequences the update fleet-wide (dynamic.Store.ApplyAt
+	// semantics: 0 self-stamps; otherwise apply strictly in ID order,
+	// duplicates acknowledged idempotently). The router stamps it; on
+	// the wire it travels in the UpdateIDHeader so the binary body
+	// needs no version bump. An empty update probes the sequence.
+	UpdateID uint64 `json:"update_id,omitempty"`
 
 	InsertR []geom.Point `json:"insert_r,omitempty"`
 	InsertS []geom.Point `json:"insert_s,omitempty"`
@@ -84,7 +92,21 @@ type UpdateResponse struct {
 	Generation uint64 `json:"generation"`
 	// Ops echoes the number of operations applied.
 	Ops int `json:"ops"`
+	// UpdateID is the sequence ID the update applied at (self-stamped
+	// when the request carried none). For an empty update it reports
+	// the store's last applied ID — the sequence probe the router
+	// seeds its counter from.
+	UpdateID uint64 `json:"update_id,omitempty"`
+	// Duplicate reports the ID was already applied; Generation is the
+	// current generation and nothing was re-applied.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
+
+// UpdateIDHeader carries UpdateRequest.UpdateID on POST /v1/update.
+// A header (rather than a body field) so the fuzz-pinned binary
+// update encoding keeps its version: the ID is transport sequencing
+// metadata, not part of the batch.
+const UpdateIDHeader = "X-SRJ-Update-ID"
 
 // DecodeUpdateRequest decodes and validates a POST /v1/update body in
 // either encoding — shared with the router proxy like
@@ -107,6 +129,14 @@ func DecodeUpdateRequest(w http.ResponseWriter, r *http.Request, maxOps int) (re
 			WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad update body: %v", err)
 			return req, false
 		}
+	}
+	if h := r.Header.Get(UpdateIDHeader); h != "" {
+		id, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad %s header: %v", UpdateIDHeader, err)
+			return req, false
+		}
+		req.UpdateID = id
 	}
 	if req.Dataset == "" {
 		WriteError(w, http.StatusBadRequest, CodeBadKey, "dataset is required")
@@ -140,7 +170,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	gen, err := s.cfg.Stores.Apply(ctx, req.Key(), req.Ops())
+	res, err := s.cfg.Stores.ApplyAt(ctx, req.Key(), req.UpdateID, req.Ops())
 	if err != nil {
 		WriteError(w, StatusFor(err), CodeFor(err), "updating %s: %v", req.Key(), err)
 		return
@@ -148,10 +178,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// The bump just made every older generation's cached engine
 	// stale; drop them now rather than letting them age out.
 	key := req.Key()
-	key.Generation = gen
+	key.Generation = res.Generation
 	s.cfg.Registry.EvictOlder(key)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(UpdateResponse{Generation: gen, Ops: req.Ops().Ops()})
+	json.NewEncoder(w).Encode(UpdateResponse{
+		Generation: res.Generation,
+		Ops:        req.Ops().Ops(),
+		UpdateID:   res.UpdateID,
+		Duplicate:  res.Duplicate,
+	})
 }
 
 // resolveEngine resolves a sample request to a serving engine. Static

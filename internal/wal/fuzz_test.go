@@ -1,0 +1,106 @@
+package wal
+
+// FuzzWALReplay throws arbitrary bytes at the segment reader as the
+// final (torn-tail-tolerant) segment of a log. Invariants under any
+// input: open+replay never panics; the key hash embedded in the bytes
+// is honored; and recovery is idempotent — whatever records the first
+// open salvages, a second open of the same (now repaired) directory
+// replays identically.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a genuine two-record segment and progressively damaged
+	// variants so the fuzzer starts inside the interesting format space.
+	seedDir := f.TempDir()
+	l, err := OpenLog(seedDir, Options{KeyHash: testKeyHash})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := l.Append(1, []byte("alpha payload")); err != nil {
+		f.Fatal(err)
+	}
+	if err := l.Append(2, []byte("beta")); err != nil {
+		f.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(seedDir, segPrefix+"*"+segSuffix))
+	if err != nil || len(names) != 1 {
+		f.Fatalf("seed segments: %v, %v", names, err)
+	}
+	valid, err := os.ReadFile(names[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])   // torn payload
+	f.Add(valid[:segHeaderLen])   // header only
+	f.Add(valid[:segHeaderLen-2]) // torn header
+	f.Add([]byte{})               // empty file
+	f.Add([]byte("not a wal segment at all, just prose"))
+	flipped := append([]byte(nil), valid...)
+	flipped[segHeaderLen+2] ^= 0x40 // damaged first record id
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		seg := filepath.Join(dir, segPrefix+"0000000000000001"+segSuffix)
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Use the key hash the bytes claim, so structurally valid inputs
+		// get past the header check and exercise the record reader.
+		var hash uint64
+		if len(data) >= segHeaderLen {
+			hash = binary.LittleEndian.Uint64(data[5:segHeaderLen])
+		}
+		l, err := OpenLog(dir, Options{KeyHash: hash})
+		if err != nil {
+			return // refused: fine, as long as it didn't panic
+		}
+		type rec struct {
+			id      uint64
+			payload []byte
+		}
+		var got []rec
+		if err := l.Replay(func(id uint64, payload []byte) error {
+			got = append(got, rec{id, append([]byte(nil), payload...)})
+			return nil
+		}); err != nil {
+			t.Fatalf("open accepted the log but replay failed: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Idempotence: the first open truncated any torn tail in place,
+		// so a second open must accept and replay the same records.
+		l2, err := OpenLog(dir, Options{KeyHash: hash})
+		if err != nil {
+			t.Fatalf("reopen after salvage refused: %v", err)
+		}
+		defer l2.Close()
+		var again []rec
+		if err := l2.Replay(func(id uint64, payload []byte) error {
+			again = append(again, rec{id, append([]byte(nil), payload...)})
+			return nil
+		}); err != nil {
+			t.Fatalf("replay after salvage failed: %v", err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("salvage not idempotent: %d records, then %d", len(got), len(again))
+		}
+		for i := range got {
+			if got[i].id != again[i].id || !bytes.Equal(got[i].payload, again[i].payload) {
+				t.Fatalf("record %d changed across reopen", i)
+			}
+		}
+	})
+}

@@ -145,10 +145,12 @@ func startObsFleet(t *testing.T, cfg srjtest.Config, n int, maxT int) *obsFleet 
 			MaxT:     maxT,
 			Logger:   slog.New(slog.NewJSONHandler(buf, &slog.HandlerOptions{Level: slog.LevelInfo})),
 			SlowDraw: time.Nanosecond, // every draw logs, so the attribution is testable
+			DataDir:  t.TempDir(),     // durability on, so the WAL families are observable
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(func() { srv.Close() })
 		ts := httptest.NewServer(srv)
 		t.Cleanup(ts.Close)
 		addrs[i] = ts.URL
@@ -219,6 +221,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 	// Backend expositions, summed across the fleet: wherever the ring
 	// sent the draws, the totals must add up.
 	var drawCount, samples, builds, stores, gen float64
+	var walAppends, lastApplied float64
 	for _, u := range fl.backendURLs {
 		bf := scrape(t, u)
 		v, _ := sumSamples(bf, "srj_draw_duration_seconds_count")
@@ -231,6 +234,10 @@ func TestMetricsEndToEnd(t *testing.T) {
 		stores += v
 		v, _ = sumSamples(bf, "srj_store_generation")
 		gen += v
+		v, _ = sumSamples(bf, "srj_wal_appends_total")
+		walAppends += v
+		v, _ = sumSamples(bf, "srj_store_last_applied_update_id")
+		lastApplied += v
 	}
 	if drawCount < 2 {
 		t.Errorf("backend draw histogram counts sum to %g, want >= 2", drawCount)
@@ -246,6 +253,12 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 	if gen < 2 { // generation >= 1 on each shard
 		t.Errorf("srj_store_generation sum to %g, want >= 2", gen)
+	}
+	if walAppends != 2 { // the broadcast wrote one log record per shard
+		t.Errorf("srj_wal_appends_total sum to %g, want 2", walAppends)
+	}
+	if lastApplied != 2 { // the router stamped update ID 1 on both shards
+		t.Errorf("srj_store_last_applied_update_id sum to %g, want 2", lastApplied)
 	}
 
 	// The JSON surface: router-aggregated /v1/stats lists each shard's
@@ -266,6 +279,15 @@ func TestMetricsEndToEnd(t *testing.T) {
 		}
 		if info.Key.Dataset != "conf" {
 			t.Errorf("store key = %+v", info.Key)
+		}
+		// The durability surface rides through the router aggregation:
+		// each shard reports the sequenced ID it applied and its live
+		// log footprint.
+		if info.LastAppliedID != 1 {
+			t.Errorf("store last_applied_update_id = %d, want 1: %+v", info.LastAppliedID, info)
+		}
+		if info.WALSegments < 1 || info.WALBytes <= 0 || info.WALAppends != 1 {
+			t.Errorf("store WAL footprint missing from aggregated stats: %+v", info)
 		}
 	}
 }

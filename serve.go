@@ -21,6 +21,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/router"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // RequestIDHeader is the header carrying the fleet's request ID
@@ -124,6 +125,17 @@ type ServerOptions struct {
 	SlowDraw time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// DataDir enables durability: every dynamic store writes ahead to
+	// a per-dataset log under this directory, compactions persist
+	// snapshots there, and NewServer recovers every dataset it finds
+	// (snapshot + log replay) instead of resurrecting the seed data.
+	// Empty means in-memory only — updates do not survive a restart.
+	DataDir string
+	// FsyncPolicy selects when log appends reach disk: "always" (the
+	// default — an acknowledged update is never lost), "interval" (a
+	// background flusher; a crash loses at most ~100ms of acks), or
+	// "off" (the OS page cache decides). Ignored without DataDir.
+	FsyncPolicy string
 }
 
 // Server is the serving subsystem as an embeddable http.Handler:
@@ -133,6 +145,7 @@ type Server struct {
 	h      *server.Server
 	reg    *registry.Registry
 	stores *dynamic.Stores
+	wal    *wal.Manager // nil without ServerOptions.DataDir
 }
 
 // NewServer assembles a serving stack from opts.
@@ -164,6 +177,17 @@ func NewServer(opts *ServerOptions) (*Server, error) {
 	}
 	if o.MaxT <= 0 {
 		o.MaxT = server.DefaultMaxT
+	}
+	var mgr *wal.Manager
+	if o.DataDir != "" {
+		policy, err := wal.ParseSyncPolicy(o.FsyncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		mgr, err = wal.OpenManager(o.DataDir, wal.Options{Sync: policy})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// validateKey front-runs both build paths: key problems are the
@@ -211,6 +235,16 @@ func NewServer(opts *ServerOptions) (*Server, error) {
 			stale.Generation = gen
 			reg.EvictOlder(stale)
 		})
+		if mgr != nil {
+			// A brand-new key (recovered keys never reach the factory —
+			// they are adopted below before the server serves) gets a
+			// fresh dataset directory to write ahead into.
+			ds, err := mgr.Open(key)
+			if err != nil {
+				return nil, err
+			}
+			st.st.SetPersister(ds)
+		}
 		return st.st, nil
 	})
 	build := func(ctx context.Context, key EngineKey) (*engine.Engine, error) {
@@ -251,6 +285,23 @@ func NewServer(opts *ServerOptions) (*Server, error) {
 		return eng.e, nil
 	}
 	reg = registry.New(build, o.MemoryBudget)
+	if mgr != nil {
+		// Recovery: every dataset a previous process persisted comes
+		// back as snapshot base + log replay — not the seed data — and
+		// is adopted into the store map before the server serves its
+		// first request. Any damage beyond a torn log tail refuses the
+		// whole startup: serving a silently-shortened history would let
+		// the router hand out update IDs the fleet disagrees on.
+		keys, err := mgr.Keys()
+		if err != nil {
+			return nil, err
+		}
+		for _, key := range keys {
+			if err := recoverDataset(mgr, stores, reg, key, &o); err != nil {
+				return nil, fmt.Errorf("srj: recovering %s from %s: %w", key, o.DataDir, err)
+			}
+		}
+	}
 	h, err := server.New(server.Config{
 		Registry:    reg,
 		Stores:      stores,
@@ -263,7 +314,75 @@ func NewServer(opts *ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{h: h, reg: reg, stores: stores}, nil
+	return &Server{h: h, reg: reg, stores: stores, wal: mgr}, nil
+}
+
+// recoverDataset rebuilds one dynamic store from its persisted state:
+// base point sets from the newest snapshot (or the dataset resolver
+// when none was ever taken), generation and last-applied update ID
+// resumed past the snapshot's, then every logged update after the
+// snapshot replayed in ID order. The recovered store is adopted into
+// the stores map so the factory never rebuilds this key from seed.
+func recoverDataset(mgr *wal.Manager, stores *dynamic.Stores, reg *registry.Registry, key EngineKey, o *ServerOptions) error {
+	ds, err := mgr.Open(key)
+	if err != nil {
+		return err
+	}
+	snap, ok, err := ds.LoadSnapshot()
+	if err != nil {
+		return err
+	}
+	R, S := snap.R, snap.S
+	if !ok {
+		// No snapshot yet: the log holds every update since the seed
+		// base, so recovery starts from the same resolver data the
+		// original store was bulk-built over.
+		if R, S, err = o.Datasets(key.Dataset); err != nil {
+			return err
+		}
+	}
+	st, err := NewStore(R, S, key.L, &StoreOptions{
+		Algorithm:          Algorithm(key.Algorithm),
+		Seed:               key.Seed,
+		MaxT:               o.MaxT,
+		initialGeneration:  snap.Generation,
+		initialLastApplied: snap.LastID,
+	})
+	if err != nil {
+		return err
+	}
+	var recs []dynamic.SeqUpdate
+	if err := ds.Replay(snap.LastID, func(id uint64, u Update) error {
+		recs = append(recs, dynamic.SeqUpdate{ID: id, U: u})
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := st.st.Replay(recs); err != nil {
+		return err
+	}
+	// Hooks attach after replay: replayed records must not be
+	// re-appended to the log they came from, and no engine can be
+	// cached for this key before the store exists.
+	st.st.SetOnGeneration(func(gen uint64) {
+		stale := key
+		stale.Generation = gen
+		reg.EvictOlder(stale)
+	})
+	st.st.SetPersister(ds)
+	return stores.Adopt(key, st.st)
+}
+
+// Close releases the server's durability resources: the write-ahead
+// logs are synced and closed and their background flushers stopped.
+// A server without a DataDir has nothing to close. The HTTP handler
+// itself holds no resources — stop accepting requests before Close,
+// or late updates fail their write-ahead append.
+func (s *Server) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
 }
 
 // BuiltinDatasets returns the dataset resolver NewServer uses by

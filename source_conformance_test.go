@@ -15,6 +15,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	srj "repro"
@@ -151,21 +152,88 @@ func newRouterUpdatable(t *testing.T, cfg srjtest.Config) srjtest.Updatable {
 	return newRouterSourceN(t, cfg, 3).(srjtest.Updatable)
 }
 
+// newDurableFixture builds the WAL-backed updatable implementation: a
+// Client over one server persisting to a per-source data dir, plus
+// the restart hook that shuts the server down and boots a fresh one
+// against the same directory — the close-and-reopen proof that
+// acknowledged mutations survive a process death.
+func newDurableFixture() (srjtest.MakeUpdatable, srjtest.RestartUpdatable) {
+	type durableState struct {
+		cfg  srjtest.Config
+		dir  string
+		stop func()
+	}
+	var mu sync.Mutex
+	states := map[srjtest.Updatable]*durableState{}
+	open := func(t *testing.T, cfg srjtest.Config, dir string) srjtest.Updatable {
+		t.Helper()
+		srv, err := srj.NewServer(&srj.ServerOptions{
+			Datasets: func(name string) ([]srj.Point, []srj.Point, error) {
+				return cfg.R, cfg.S, nil
+			},
+			MaxT:    cfg.MaxT,
+			DataDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		stopped := false
+		stop := func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			ts.Close()
+			if err := srv.Close(); err != nil {
+				t.Errorf("closing durable server: %v", err)
+			}
+		}
+		t.Cleanup(stop)
+		cl := srj.NewClientHTTP(ts.URL, confTransport(t)).
+			Bind(srj.EngineKey{Dataset: "conf", L: cfg.L, Seed: cfg.BuildSeed})
+		mu.Lock()
+		states[cl] = &durableState{cfg: cfg, dir: dir, stop: stop}
+		mu.Unlock()
+		return cl
+	}
+	makeUpd := func(t *testing.T, cfg srjtest.Config) srjtest.Updatable {
+		return open(t, cfg, t.TempDir())
+	}
+	restart := func(t *testing.T, src srjtest.Updatable) srjtest.Updatable {
+		t.Helper()
+		mu.Lock()
+		st := states[src]
+		mu.Unlock()
+		if st == nil {
+			t.Fatal("restart of a source this fixture did not build")
+		}
+		st.stop()
+		return open(t, st.cfg, st.dir)
+	}
+	return makeUpd, restart
+}
+
 // TestUpdatableConformance runs the update-aware suite over every
 // tier that accepts mutations: the local Store, the Client over one
-// server, and the Router over a broadcast fleet of three.
+// server, the Router over a broadcast fleet of three, and the
+// WAL-backed Client that additionally proves durability across a
+// close-and-reopen.
 func TestUpdatableConformance(t *testing.T) {
+	durableMake, durableRestart := newDurableFixture()
 	fixtures := []struct {
 		name string
 		make srjtest.MakeUpdatable
+		opts []srjtest.UpdatableOption
 	}{
-		{"Store", newStoreUpdatable},
-		{"Client", newClientUpdatable},
-		{"Router", newRouterUpdatable},
+		{"Store", newStoreUpdatable, nil},
+		{"Client", newClientUpdatable, nil},
+		{"Router", newRouterUpdatable, nil},
+		{"DurableClient", durableMake, []srjtest.UpdatableOption{srjtest.WithRestart(durableRestart)}},
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) {
-			srjtest.RunUpdatableConformance(t, fx.make)
+			srjtest.RunUpdatableConformance(t, fx.make, fx.opts...)
 		})
 	}
 }

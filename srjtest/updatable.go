@@ -39,6 +39,27 @@ type Updatable interface {
 // calls each constructor inside its own subtest.
 type MakeUpdatable func(t *testing.T, cfg Config) Updatable
 
+// RestartUpdatable closes src and reopens the same underlying dataset
+// from its durable state — e.g. shutting a server down and booting a
+// fresh one against the same data directory. The returned source must
+// serve the state src had acknowledged, not the seed data.
+type RestartUpdatable func(t *testing.T, src Updatable) Updatable
+
+// UpdatableOption configures RunUpdatableConformance.
+type UpdatableOption func(*updatableOptions)
+
+type updatableOptions struct {
+	restart RestartUpdatable
+}
+
+// WithRestart opts the implementation into the durability subtest:
+// restart is called after a scripted mutation sequence, and the
+// reopened source must still satisfy the mutation contract — deletes
+// stay deleted, inserts stay present, updates keep applying.
+func WithRestart(restart RestartUpdatable) UpdatableOption {
+	return func(o *updatableOptions) { o.restart = restart }
+}
+
 // updateScript returns the suite's scripted mutation sequence over
 // the Data() point sets, alongside the point sets it leaves current.
 // The script exercises every op kind: base deletes on both sides,
@@ -111,7 +132,11 @@ func applyScript(t *testing.T, src Updatable, script []srj.Update) {
 // no-deleted-pair guarantee, equal-seed determinism within one
 // generation, and generation visibility. Implementations pass all of
 // it or they are not an updatable Source.
-func RunUpdatableConformance(t *testing.T, newUpdatable MakeUpdatable) {
+func RunUpdatableConformance(t *testing.T, newUpdatable MakeUpdatable, opts ...UpdatableOption) {
+	var o updatableOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	R, S, l := Data()
 
 	t.Run("generation visibility", func(t *testing.T) {
@@ -307,6 +332,75 @@ func RunUpdatableConformance(t *testing.T, newUpdatable MakeUpdatable) {
 			}
 		}
 	})
+
+	if o.restart != nil {
+		t.Run("durability across restart", func(t *testing.T) {
+			src := newUpdatable(t, Config{R: R, S: S, L: l, MaxT: 500_000, BuildSeed: 16})
+			ctx := context.Background()
+			// Mutations an implementation could fake from seed data are
+			// useless here: delete base points that join, insert a
+			// far-away cluster, then delete one of the inserts — the
+			// reopened source must reflect all of it.
+			// R and S IDs overlap in Data(), so the victim sets are
+			// per-side — exactly like the "no deleted pair" subtest.
+			victimR := map[int32]bool{R[1].ID: true}
+			victimS := map[int32]bool{S[6].ID: true}
+			if _, err := src.Apply(ctx, srj.Update{
+				DeleteR: []int32{R[1].ID},
+				DeleteS: []int32{S[6].ID},
+				InsertR: []srj.Point{{ID: 8800, X: S[9].X + l/4, Y: S[9].Y}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := src.Apply(ctx, srj.Update{
+				InsertR: []srj.Point{{ID: 8801, X: S[10].X - l/3, Y: S[10].Y}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := src.Apply(ctx, srj.Update{DeleteR: []int32{8801}}); err != nil {
+				t.Fatal(err)
+			}
+
+			reopened := o.restart(t, src)
+			sawInsert := false
+			err := reopened.DrawFunc(ctx, srj.Request{T: 150_000}, func(batch []srj.Pair) error {
+				for _, p := range batch {
+					if victimR[p.R.ID] || victimS[p.S.ID] {
+						t.Fatalf("deleted pair (%d,%d) resurrected by restart", p.R.ID, p.S.ID)
+					}
+					if p.R.ID == 8801 {
+						t.Fatal("tombstoned insert 8801 resurrected by restart")
+					}
+					if p.R.ID == 8800 {
+						sawInsert = true
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sawInsert {
+				t.Fatal("surviving insert 8800 lost across restart")
+			}
+			// The sequence keeps moving: a post-restart delete lands and
+			// is immediately visible.
+			if _, err := reopened.Apply(ctx, srj.Update{DeleteR: []int32{8800}}); err != nil {
+				t.Fatalf("post-restart update: %v", err)
+			}
+			err = reopened.DrawFunc(ctx, srj.Request{T: 50_000}, func(batch []srj.Pair) error {
+				for _, p := range batch {
+					if p.R.ID == 8800 {
+						t.Fatal("point deleted after restart still sampled")
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
 
 	t.Run("bad update", func(t *testing.T) {
 		// Non-finite inserts are refused with ErrBadRequest — the same

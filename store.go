@@ -67,6 +67,13 @@ type StoreOptions struct {
 	// DisableAutoRebuild suppresses threshold-triggered compactions;
 	// Compact still works on demand.
 	DisableAutoRebuild bool
+
+	// Recovery knobs, set by NewServer when it rebuilds a store from a
+	// snapshot: the generation and update ID the snapshot was taken at.
+	// Unexported on purpose — callers outside this package construct
+	// stores at generation 0 and recover through ServerOptions.DataDir.
+	initialGeneration  uint64
+	initialLastApplied uint64
 }
 
 // Store is a mutable join-sampling dataset: the fourth Source
@@ -119,6 +126,8 @@ func NewStore(R, S []Point, l float64, opts *StoreOptions) (*Store, error) {
 		RebuildFraction:    o.RebuildFraction,
 		DisableAutoRebuild: o.DisableAutoRebuild,
 		Name:               "dynamic+" + string(algo),
+		InitialGeneration:  o.initialGeneration,
+		InitialLastApplied: o.initialLastApplied,
 	})
 	if err != nil {
 		return nil, err

@@ -118,11 +118,11 @@ func TestRouterUpdateBroadcast(t *testing.T) {
 
 	// A second bump through the router's own HTTP surface (the proxy
 	// endpoint srjrouter mounts) behaves identically.
-	gen2, err := rt.ApplyUpdate(ctx, key, srj.Update{DeleteS: []int32{int32(4001)}})
+	res2, err := rt.ApplyUpdate(ctx, key, srj.Update{DeleteS: []int32{int32(4001)}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gen2 != gen+1 {
+	if gen2 := res2.Generation; gen2 != gen+1 {
 		t.Fatalf("fleet generation %d after second update, want %d", gen2, gen+1)
 	}
 	for i, cl := range clients {
