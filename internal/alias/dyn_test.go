@@ -1,0 +1,281 @@
+package alias
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func mustWeights(t *testing.T, ws []float64) *Weights {
+	t.Helper()
+	w, err := NewWeights(ws)
+	if err != nil {
+		t.Fatalf("NewWeights(%v): %v", ws, err)
+	}
+	return w
+}
+
+func weightsVec(w *Weights) []float64 {
+	out := make([]float64, w.Len())
+	for i := range out {
+		out[i] = w.Get(i)
+	}
+	return out
+}
+
+func TestWeightsBasics(t *testing.T) {
+	w := mustWeights(t, []float64{1, 0, 3, 2, 0.5})
+	if w.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", w.Len())
+	}
+	if got, want := w.Total(), 6.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Total = %g, want %g", got, want)
+	}
+	for i, want := range []float64{1, 0, 3, 2, 0.5} {
+		if got := w.Get(i); got != want {
+			t.Fatalf("Get(%d) = %g, want %g", i, got, want)
+		}
+	}
+	if w.Get(-1) != 0 || w.Get(5) != 0 {
+		t.Fatalf("out-of-range Get should be 0")
+	}
+}
+
+func TestWeightsEmpty(t *testing.T) {
+	w := mustWeights(t, nil)
+	if w.Len() != 0 || w.Total() != 0 {
+		t.Fatalf("empty Weights: Len=%d Total=%g", w.Len(), w.Total())
+	}
+	w2, err := w.Append(4)
+	if err != nil {
+		t.Fatalf("Append on empty: %v", err)
+	}
+	if w2.Len() != 1 || w2.Total() != 4 || w2.Get(0) != 4 {
+		t.Fatalf("after Append: Len=%d Total=%g Get(0)=%g", w2.Len(), w2.Total(), w2.Get(0))
+	}
+	// The original version is untouched.
+	if w.Len() != 0 || w.Total() != 0 {
+		t.Fatalf("Append mutated its receiver")
+	}
+}
+
+func TestWeightsInvalidInputs(t *testing.T) {
+	if _, err := NewWeights([]float64{1, -2}); err == nil {
+		t.Fatalf("NewWeights accepted a negative weight")
+	}
+	if _, err := NewWeights([]float64{math.NaN()}); err == nil {
+		t.Fatalf("NewWeights accepted NaN")
+	}
+	w := mustWeights(t, []float64{1, 2})
+	if _, err := w.Set(2, 1); err == nil {
+		t.Fatalf("Set accepted an out-of-range index")
+	}
+	if _, err := w.Set(0, -1); err == nil {
+		t.Fatalf("Set accepted a negative weight")
+	}
+	if _, err := w.Set(0, math.Inf(1)); err == nil {
+		t.Fatalf("Set accepted +Inf")
+	}
+	if _, err := w.Append(math.NaN()); err == nil {
+		t.Fatalf("Append accepted NaN")
+	}
+}
+
+// TestWeightsPersistence pins the headline property: Set and Append
+// return new versions and never disturb old ones, even across capacity
+// growth.
+func TestWeightsPersistence(t *testing.T) {
+	versions := []*Weights{mustWeights(t, []float64{1, 2, 3})}
+	expect := [][]float64{{1, 2, 3}}
+	r := rng.New(7)
+	cur := versions[0]
+	vec := []float64{1, 2, 3}
+	for step := 0; step < 200; step++ {
+		var err error
+		if r.Bool(0.5) && len(vec) > 0 {
+			i := r.Intn(len(vec))
+			v := math.Floor(r.Float64()*8) / 2
+			cur, err = cur.Set(i, v)
+			if err != nil {
+				t.Fatalf("step %d Set: %v", step, err)
+			}
+			vec = append([]float64(nil), vec...)
+			vec[i] = v
+		} else {
+			v := math.Floor(r.Float64()*8) / 2
+			cur, err = cur.Append(v)
+			if err != nil {
+				t.Fatalf("step %d Append: %v", step, err)
+			}
+			vec = append(append([]float64(nil), vec...), v)
+		}
+		versions = append(versions, cur)
+		expect = append(expect, vec)
+	}
+	for vi, w := range versions {
+		got := weightsVec(w)
+		want := expect[vi]
+		if len(got) != len(want) {
+			t.Fatalf("version %d: len %d, want %d", vi, len(got), len(want))
+		}
+		total := 0.0
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("version %d: slot %d = %g, want %g", vi, i, got[i], want[i])
+			}
+			total += want[i]
+		}
+		if math.Abs(w.Total()-total) > 1e-9 {
+			t.Fatalf("version %d: Total = %g, want %g", vi, w.Total(), total)
+		}
+	}
+}
+
+// TestWeightsSampleDistribution chi-squares the sampler against the
+// weight vector, including zero-weight holes that must never be drawn.
+func TestWeightsSampleDistribution(t *testing.T) {
+	ws := []float64{5, 0, 1, 3, 0, 2, 9, 0.25}
+	w := mustWeights(t, ws)
+	r := rng.New(42)
+	const draws = 200000
+	counts := make([]int, len(ws))
+	for i := 0; i < draws; i++ {
+		counts[w.Sample(r)]++
+	}
+	total := w.Total()
+	chi2 := 0.0
+	dof := 0
+	for i, wi := range ws {
+		if wi == 0 {
+			if counts[i] != 0 {
+				t.Fatalf("zero-weight slot %d drawn %d times", i, counts[i])
+			}
+			continue
+		}
+		exp := float64(draws) * wi / total
+		d := float64(counts[i]) - exp
+		chi2 += d * d / exp
+		dof++
+	}
+	// 5 degrees of freedom (6 positive slots); 99.9th percentile ~ 20.5.
+	if chi2 > 25 {
+		t.Fatalf("chi-square %g too large (counts %v)", chi2, counts)
+	}
+}
+
+// TestWeightsSampleAfterMutation verifies the distribution tracks the
+// tip after churn that exercises Set-to-zero, revive, and Append.
+func TestWeightsSampleAfterMutation(t *testing.T) {
+	w := mustWeights(t, []float64{1, 1, 1, 1})
+	var err error
+	for i := 0; i < 60; i++ {
+		w, err = w.Append(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill the original four, give mass to three appended slots.
+	for i := 0; i < 4; i++ {
+		w, err = w.Set(i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := map[int]float64{17: 2, 40: 6, 63: 4}
+	for _, i := range []int{17, 40, 63} {
+		w, err = w.Set(i, hot[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rng.New(9)
+	const draws = 120000
+	counts := map[int]int{}
+	for i := 0; i < draws; i++ {
+		counts[w.Sample(r)]++
+	}
+	for i := range counts {
+		if _, ok := hot[i]; !ok {
+			t.Fatalf("slot %d drawn %d times but has zero weight", i, counts[i])
+		}
+	}
+	for i, v := range hot {
+		exp := float64(draws) * v / 12
+		if d := math.Abs(float64(counts[i]) - exp); d > 5*math.Sqrt(exp) {
+			t.Fatalf("slot %d: %d draws, expected ~%g", i, counts[i], exp)
+		}
+	}
+}
+
+func TestWeightsSampleZeroTotalPanics(t *testing.T) {
+	w := mustWeights(t, []float64{0, 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Sample on zero-total Weights did not panic")
+		}
+	}()
+	w.Sample(rng.New(1))
+}
+
+func TestWeightsDeterminism(t *testing.T) {
+	w := mustWeights(t, []float64{3, 1, 4, 1, 5, 9, 2, 6})
+	a, b := rng.New(11), rng.New(11)
+	for i := 0; i < 1000; i++ {
+		if x, y := w.Sample(a), w.Sample(b); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestWeightsAppendGrowth(t *testing.T) {
+	w := mustWeights(t, nil)
+	var err error
+	for i := 0; i < 300; i++ {
+		w, err = w.Append(float64(i % 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() != i+1 {
+			t.Fatalf("Len = %d after %d appends", w.Len(), i+1)
+		}
+	}
+	sum := 0.0
+	for i := 0; i < 300; i++ {
+		want := float64(i % 7)
+		if got := w.Get(i); got != want {
+			t.Fatalf("Get(%d) = %g, want %g", i, got, want)
+		}
+		sum += want
+	}
+	if math.Abs(w.Total()-sum) > 1e-9 {
+		t.Fatalf("Total = %g, want %g", w.Total(), sum)
+	}
+}
+
+func BenchmarkWeightsSet(b *testing.B) {
+	ws := make([]float64, 1<<16)
+	for i := range ws {
+		ws[i] = 1
+	}
+	w, _ := NewWeights(ws)
+	r := rng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ = w.Set(r.Intn(len(ws)), r.Float64())
+	}
+}
+
+func BenchmarkWeightsSample(b *testing.B) {
+	ws := make([]float64, 1<<16)
+	for i := range ws {
+		ws[i] = 1 + float64(i%13)
+	}
+	w, _ := NewWeights(ws)
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Sample(r)
+	}
+}

@@ -31,16 +31,21 @@ import (
 	"repro/internal/rng"
 )
 
-// Bucket summarizes a run of consecutive x-sorted points of one cell.
-// Start/End index the backing slice handed to Build.
+// Bucket summarizes one bucket of a cell: at most Cap() points in
+// ascending x order, plus the exact min/max of both coordinates. After
+// a bulk Build the Pts slices are zero-copy windows into the caller's
+// x-sorted slice; every in-place mutation (Insert/Delete) replaces the
+// slice rather than writing through it, so the caller's backing array
+// is never modified. A nil Pts marks a dead (free-listed) slot in the
+// Pair's bucket table and never appears in query results.
 type Bucket struct {
-	Start, End int32 // points[Start:End], End > Start
+	Pts        []geom.Point
 	MinX, MaxX float64
 	MinY, MaxY float64
 }
 
 // Len returns the number of points in the bucket.
-func (b Bucket) Len() int { return int(b.End - b.Start) }
+func (b Bucket) Len() int { return len(b.Pts) }
 
 // Corner identifies which 2-sided query a BBST pair answers; it maps
 // one-to-one onto the four case-3 grid directions.
@@ -89,13 +94,19 @@ type tree struct {
 
 // Pair bundles the shared bucket array and the two trees built over
 // one cell's x-sorted points, i.e. (T^min_c, T^max_c) in the paper.
+// A Pair built by Build is immediately queryable and, unless
+// fractional cascading has been enabled, mutable through Insert and
+// Delete (see maint.go).
 type Pair struct {
-	points  []geom.Point // backing x-sorted slice; not owned
 	buckets []Bucket
-	cap     int // bucket capacity b = ceil(log2 m)
+	order   []int32 // live bucket ids in ascending (MinX, MaxX) order
+	free    []int32 // dead bucket ids available for reuse
+	npts    int     // live point count
+	cap     int     // bucket capacity b = ceil(log2 m)
 	tMin    tree
 	tMax    tree
 	fcOn    bool // fractional cascading enabled
+	deep    bool // an insert descended past the depth hatch; rebuild trees
 }
 
 // BucketCap returns the bucket capacity for a dataset of m points:
@@ -118,42 +129,60 @@ func Build(points []geom.Point, bucketCap int) (*Pair, error) {
 	if !sort.SliceIsSorted(points, func(i, j int) bool { return points[i].X < points[j].X }) {
 		return nil, fmt.Errorf("bbst: points must be sorted by x")
 	}
-	p := &Pair{points: points, cap: bucketCap}
+	p := &Pair{cap: bucketCap, npts: len(points)}
 	for start := 0; start < len(points); start += bucketCap {
 		end := start + bucketCap
 		if end > len(points) {
 			end = len(points)
 		}
-		b := Bucket{
-			Start: int32(start), End: int32(end),
-			MinX: points[start].X, MaxX: points[end-1].X,
-			MinY: math.Inf(1), MaxY: math.Inf(-1),
-		}
-		for _, pt := range points[start:end] {
-			if pt.Y < b.MinY {
-				b.MinY = pt.Y
-			}
-			if pt.Y > b.MaxY {
-				b.MaxY = pt.Y
-			}
-		}
+		// Three-index subslice: a later append through this header can
+		// never clobber the caller's array past end.
+		b := bucketOf(points[start:end:end])
+		p.order = append(p.order, int32(len(p.buckets)))
 		p.buckets = append(p.buckets, b)
 	}
 	if len(p.buckets) > 0 {
-		p.tMin.root = p.makeTree(func(b Bucket) float64 { return b.MinX })
-		p.tMax.root = p.makeTree(func(b Bucket) float64 { return b.MaxX })
+		p.rebuildTrees()
 	}
 	return p, nil
 }
 
-// makeTree builds one balanced tree over all buckets using key(b) as
-// the bucket's x-coordinate (Algorithm 2).
-func (p *Pair) makeTree(key func(Bucket) float64) *node {
-	n := len(p.buckets)
-	byKey := make([]int32, n)
-	for i := range byKey {
-		byKey[i] = int32(i)
+// bucketOf wraps pts (ascending x, non-empty) in a Bucket with exact
+// summaries. The slice is retained as-is.
+func bucketOf(pts []geom.Point) Bucket {
+	b := Bucket{
+		Pts:  pts,
+		MinX: pts[0].X, MaxX: pts[len(pts)-1].X,
+		MinY: math.Inf(1), MaxY: math.Inf(-1),
 	}
+	for _, pt := range pts {
+		if pt.Y < b.MinY {
+			b.MinY = pt.Y
+		}
+		if pt.Y > b.MaxY {
+			b.MaxY = pt.Y
+		}
+	}
+	return b
+}
+
+// rebuildTrees bulk-rebuilds both trees over the live buckets — the
+// build path, Compact, and the depth escape hatch of the incremental
+// path all land here.
+func (p *Pair) rebuildTrees() {
+	p.deep = false
+	if len(p.order) == 0 {
+		p.tMin.root, p.tMax.root = nil, nil
+		return
+	}
+	p.tMin.root = p.makeTree(func(b Bucket) float64 { return b.MinX })
+	p.tMax.root = p.makeTree(func(b Bucket) float64 { return b.MaxX })
+}
+
+// makeTree builds one balanced tree over the live buckets using key(b)
+// as the bucket's x-coordinate (Algorithm 2).
+func (p *Pair) makeTree(key func(Bucket) float64) *node {
+	byKey := append([]int32(nil), p.order...)
 	sort.SliceStable(byKey, func(i, j int) bool {
 		return key(p.buckets[byKey[i]]) < key(p.buckets[byKey[j]])
 	})
@@ -217,15 +246,25 @@ func (p *Pair) makeNode(byKey, byMinY, byMaxY []int32, key func(Bucket) float64)
 	return u
 }
 
-// NumBuckets returns the number of buckets in the cell.
-func (p *Pair) NumBuckets() int { return len(p.buckets) }
+// NumBuckets returns the number of live buckets in the cell.
+func (p *Pair) NumBuckets() int { return len(p.order) }
+
+// NumPoints returns the number of live points in the cell.
+func (p *Pair) NumPoints() int { return p.npts }
 
 // Cap returns the bucket capacity the pair was built with.
 func (p *Pair) Cap() int { return p.cap }
 
-// Buckets exposes the bucket summaries (read-only) for tests and
-// diagnostics.
-func (p *Pair) Buckets() []Bucket { return p.buckets }
+// Buckets returns the live bucket summaries in ascending x order, for
+// tests and diagnostics. The returned slice is freshly allocated (the
+// internal table may contain free-listed holes).
+func (p *Pair) Buckets() []Bucket {
+	out := make([]Bucket, len(p.order))
+	for i, id := range p.order {
+		out[i] = p.buckets[id]
+	}
+	return out
+}
 
 // piece is one element of the canonical decomposition: a y-sorted
 // bucket-id array together with the contiguous matching region
@@ -395,7 +434,7 @@ func (p *Pair) SampleSlot(c Corner, w geom.Rect, r *rng.RNG, scratch *[]piece) (
 			if slot >= b.Len() {
 				return geom.Point{}, false
 			}
-			return p.points[int(b.Start)+slot], true
+			return b.Pts[slot], true
 		}
 		bucketPos -= n
 	}
@@ -458,12 +497,14 @@ func countNodes(n *node) int {
 }
 
 // SizeBytes estimates the heap footprint of the pair (buckets, nodes,
-// and all id arrays), excluding the backing point slice which is owned
-// by the grid cell. Used by the memory experiment (Fig. 4).
+// and all id arrays), excluding the point storage itself, which a
+// freshly built pair shares with the grid cell (callers that account
+// for mutated, bucket-owned points add 16*NumPoints on top). Used by
+// the memory experiment (Fig. 4).
 func (p *Pair) SizeBytes() int {
-	const bucketSize = 40
+	const bucketSize = 24 + 4*8     // Pts header + 4 float summaries
 	const nodeSize = 8 + 4*24 + 2*8 // key + 4 slice headers + 2 pointers
-	total := len(p.buckets) * bucketSize
+	total := len(p.buckets)*bucketSize + 4*(len(p.order)+len(p.free))
 	var walk func(n *node)
 	walk = func(n *node) {
 		if n == nil {
@@ -523,7 +564,7 @@ func (p *Pair) ReportPoints(c Corner, w geom.Rect, scratch *Scratch, fn func(geo
 	}
 	stopped := false
 	p.ReportBuckets(c, w, scratch, func(b Bucket) bool {
-		for _, pt := range p.points[b.Start:b.End] {
+		for _, pt := range b.Pts {
 			if match(pt) {
 				if !fn(pt) {
 					stopped = true

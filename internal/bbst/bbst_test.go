@@ -118,7 +118,7 @@ func TestBucketPartition(t *testing.T) {
 			t.Fatalf("bucket %d has invalid length %d", i, b.Len())
 		}
 		covered += b.Len()
-		for _, pt := range pts[b.Start:b.End] {
+		for _, pt := range b.Pts {
 			if pt.X < b.MinX || pt.X > b.MaxX || pt.Y < b.MinY || pt.Y > b.MaxY {
 				t.Fatalf("bucket %d summary does not cover point %v", i, pt)
 			}
@@ -126,7 +126,7 @@ func TestBucketPartition(t *testing.T) {
 		// Summaries must be tight.
 		minX, maxX := math.Inf(1), math.Inf(-1)
 		minY, maxY := math.Inf(1), math.Inf(-1)
-		for _, pt := range pts[b.Start:b.End] {
+		for _, pt := range b.Pts {
 			minX = math.Min(minX, pt.X)
 			maxX = math.Max(maxX, pt.X)
 			minY = math.Min(minY, pt.Y)
@@ -346,7 +346,7 @@ func TestSampleSlotNeverReturnsWrongRegionAfterFilter(t *testing.T) {
 			found := false
 			for _, b := range p.Buckets() {
 				if pt.ID >= 0 {
-					for _, bp := range pts[b.Start:b.End] {
+					for _, bp := range b.Pts {
 						if bp.ID == pt.ID {
 							found = true
 						}

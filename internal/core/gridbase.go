@@ -55,6 +55,7 @@ type gridSampler struct {
 
 	tab       *alias.Table  // alias over µ(r)
 	cellAlias []alias.Small // A_r: per-point alias over the 9 cells
+	mu        []float64     // µ(r) per point, retained for Unfreeze
 }
 
 // Preprocess sorts a copy of S by x — the only offline work the
@@ -157,6 +158,7 @@ func (g *gridSampler) Count() error {
 			g.cellAlias[i].Reset(weights[:])
 		}
 		g.stats.MuSum = total
+		g.mu = mu
 		if total == 0 {
 			buildErr = ErrEmptyJoin
 			return

@@ -1,0 +1,116 @@
+package core
+
+import "repro/internal/geom"
+
+// pvec is a persistent (path-copied) vector of points: the R-slot
+// array of the mutable index. Get, Set, and Append are O(log n) and
+// return/lean on immutable nodes, so every published index version
+// keeps reading its own slots while the tip advances — the same
+// discipline as alias.Weights, which indexes the very same slots.
+type pvec struct {
+	root *pnode
+	n    int
+	span int // power-of-two leaf capacity of root
+}
+
+type pnode struct {
+	left, right *pnode
+	pt          geom.Point // leaf payload (span 1)
+}
+
+// Len returns the number of slots.
+func (v *pvec) Len() int { return v.n }
+
+// Get returns the point in slot i.
+func (v *pvec) Get(i int) geom.Point {
+	if i < 0 || i >= v.n {
+		panic("core: pvec index out of range")
+	}
+	u, span := v.root, v.span
+	for span > 1 {
+		span >>= 1
+		if i < span {
+			u = u.left
+		} else {
+			u = u.right
+			i -= span
+		}
+	}
+	return u.pt
+}
+
+// Set returns a new vector with slot i replaced.
+func (v *pvec) Set(i int, pt geom.Point) *pvec {
+	if i < 0 || i >= v.n {
+		panic("core: pvec index out of range")
+	}
+	nv := *v
+	nv.root = setPNode(v.root, v.span, i, pt)
+	return &nv
+}
+
+func setPNode(u *pnode, span, i int, pt geom.Point) *pnode {
+	if span == 1 {
+		return &pnode{pt: pt}
+	}
+	var nu pnode
+	if u != nil {
+		nu = *u
+	}
+	span >>= 1
+	if i < span {
+		nu.left = setPNode(nu.left, span, i, pt)
+	} else {
+		nu.right = setPNode(nu.right, span, i-span, pt)
+	}
+	return &nu
+}
+
+// Append returns a new vector with pt added at slot Len().
+func (v *pvec) Append(pt geom.Point) *pvec {
+	nv := *v
+	if nv.span == 0 {
+		nv.span = 1
+	}
+	for nv.n >= nv.span {
+		nv.root = &pnode{left: nv.root}
+		nv.span <<= 1
+	}
+	nv.root = setPNode(nv.root, nv.span, nv.n, pt)
+	nv.n++
+	return &nv
+}
+
+// newPvec bulk-builds a vector over pts.
+func newPvec(pts []geom.Point) *pvec {
+	v := &pvec{}
+	if len(pts) == 0 {
+		return v
+	}
+	span := 1
+	for span < len(pts) {
+		span <<= 1
+	}
+	v.span = span
+	v.n = len(pts)
+	v.root = buildPNode(pts, span)
+	return v
+}
+
+func buildPNode(pts []geom.Point, span int) *pnode {
+	if len(pts) == 0 {
+		return nil
+	}
+	if span == 1 {
+		return &pnode{pt: pts[0]}
+	}
+	half := span >> 1
+	u := &pnode{}
+	if len(pts) <= half {
+		u.left = buildPNode(pts, half)
+	} else {
+		u.left = buildPNode(pts[:half], half)
+		u.right = buildPNode(pts[half:], half)
+	}
+	return u
+}

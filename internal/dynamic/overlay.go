@@ -41,10 +41,14 @@ import (
 )
 
 // componentShared is the immutable, clone-shared half of a mixture
-// component: its trial mass and the tombstone sets its candidates are
-// rejected against (nil means no rejection on that side).
+// component: its trial mass, the bytes this component charges its
+// view (the shared base is charged only by the view that bulk-built
+// it — see Store.buildComponents), and the tombstone sets its
+// candidates are rejected against (nil means no rejection on that
+// side).
 type componentShared struct {
 	mass float64
+	size int
 	rejR map[int32]struct{}
 	rejS map[int32]struct{}
 }
@@ -184,14 +188,14 @@ func (o *overlay) Sample(t int) ([]geom.Pair, error) {
 // (tombstone rejections count as ordinary rejected iterations).
 func (o *overlay) Stats() core.Stats { return o.stats }
 
-// SizeBytes sums the component structures plus the tombstone sets.
-// The base component's structures are shared with the previous view,
-// so summing across resident generations double-counts; the Store
-// documents the approximation.
+// SizeBytes sums each component's charged size (set at view build:
+// the shared base counts only on the view that owns it, so summing
+// engine sizes across resident generations counts shared structures
+// once) plus the tombstone sets.
 func (o *overlay) SizeBytes() int {
 	total := 0
 	for _, c := range o.comps {
-		total += c.trial.SizeBytes()
+		total += c.shared.size
 		total += 16 * (len(c.shared.rejR) + len(c.shared.rejS))
 	}
 	if o.tab != nil {

@@ -33,9 +33,10 @@ const maxGapBuffer = 64
 // Persister is the write-ahead durability hook of a Store. Append is
 // called under the store's write lock *before* an update's view is
 // published — if it errors the update fails and is never visible.
-// Snapshot is called after a rebuild swap (outside the lock) with the
-// materialized base point sets covering IDs <= lastID. Implementations
-// must be safe for concurrent use; internal/wal provides the real one.
+// Snapshot is called outside the lock — after a rebuild swap, or on
+// the in-place path's own cadence — with the materialized point sets
+// covering IDs <= lastID. Implementations must be safe for concurrent
+// use; internal/wal provides the real one.
 type Persister interface {
 	Append(id uint64, u Update) error
 	Snapshot(gen, lastID uint64, R, S []geom.Point) error
@@ -192,22 +193,31 @@ func (st *Store) drainGapLocked() {
 
 // applyLocked builds and publishes the view for one consecutive
 // update, writing ahead first. Called with mu held and
-// id == lastApplied+1.
+// id == lastApplied+1. When the base supports in-place maintenance
+// the update edits the index copy-on-write (Õ(ops)); otherwise it is
+// folded into the overlay's buffers and tombstones.
 func (st *Store) applyLocked(id uint64, u Update) (ApplyResult, error) {
 	cur := st.view.Load()
-	nv := &view{
-		gen:      cur.gen + 1,
-		lastID:   id,
-		baseR:    cur.baseR,
-		baseS:    cur.baseS,
-		baseIDR:  cur.baseIDR,
-		baseIDS:  cur.baseIDS,
-		base:     cur.base,
-		baseMass: cur.baseMass,
-		donorS:   cur.donorS,
+	nv := &view{gen: cur.gen + 1, lastID: id}
+	if m := st.mutableTipLocked(cur); m != nil {
+		nm, err := m.Apply(mutOps(u))
+		if err != nil {
+			return ApplyResult{}, err
+		}
+		nv.mut = nm
+		nv.baseSize = nm.SizeBytes()
+	} else {
+		nv.baseR = cur.baseR
+		nv.baseS = cur.baseS
+		nv.baseIDR = cur.baseIDR
+		nv.baseIDS = cur.baseIDS
+		nv.base = cur.base
+		nv.baseMass = cur.baseMass
+		nv.baseSize = cur.baseSize
+		nv.donorS = cur.donorS
+		nv.insR, nv.delR = applyOps(cur.insR, cur.delR, cur.baseIDR, u.InsertR, u.DeleteR)
+		nv.insS, nv.delS = applyOps(cur.insS, cur.delS, cur.baseIDS, u.InsertS, u.DeleteS)
 	}
-	nv.insR, nv.delR = applyOps(cur.insR, cur.delR, cur.baseIDR, u.InsertR, u.DeleteR)
-	nv.insS, nv.delS = applyOps(cur.insS, cur.delS, cur.baseIDS, u.InsertS, u.DeleteS)
 	if err := st.finishView(nv); err != nil {
 		return ApplyResult{}, err
 	}
@@ -219,10 +229,22 @@ func (st *Store) applyLocked(id uint64, u Update) (ApplyResult, error) {
 			return ApplyResult{}, fmt.Errorf("dynamic: write-ahead append: %w", err)
 		}
 	}
-	st.log = append(st.log, u)
+	if st.rebuilding {
+		// The log only feeds the in-flight rebuild's catch-up replay;
+		// with no rebuild running nothing will ever read this update
+		// from it (the views carry the state), so it is not retained.
+		st.log = append(st.log, u)
+	}
 	st.lastApplied = id
+	if nv.mut != nil {
+		st.inplace.Add(uint64(u.Ops()))
+		if st.cfg.Persister != nil {
+			st.snapPending++
+		}
+	}
 	st.swapLocked(nv)
 	st.maybeRebuildLocked(nv)
+	st.maybeSnapshotLocked(nv)
 	return ApplyResult{Generation: nv.gen, UpdateID: id}, nil
 }
 
@@ -244,36 +266,63 @@ func (st *Store) Replay(recs []SeqUpdate) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	cur := st.view.Load()
-	nv := &view{
-		gen:      cur.gen,
-		baseR:    cur.baseR,
-		baseS:    cur.baseS,
-		baseIDR:  cur.baseIDR,
-		baseIDS:  cur.baseIDS,
-		base:     cur.base,
-		baseMass: cur.baseMass,
-		donorS:   cur.donorS,
-		insR:     cur.insR,
-		insS:     cur.insS,
-		delR:     cur.delR,
-		delS:     cur.delS,
-	}
+	nv := &view{gen: cur.gen}
 	prev := st.lastApplied
-	for _, rec := range recs {
-		if rec.ID <= prev {
-			return fmt.Errorf("%w: replay ID %d not after %d", ErrUpdateSequence, rec.ID, prev)
+	if m := st.mutableTipLocked(cur); m != nil {
+		// In-place replay: fold each record into the index (Õ(ops)
+		// apiece) and build one view over the final version.
+		inplaceOps := 0
+		for _, rec := range recs {
+			if rec.ID <= prev {
+				return fmt.Errorf("%w: replay ID %d not after %d", ErrUpdateSequence, rec.ID, prev)
+			}
+			prev = rec.ID
+			nv.gen++
+			nm, err := m.Apply(mutOps(rec.U))
+			if err != nil {
+				return err
+			}
+			m = nm
+			inplaceOps += rec.U.Ops()
 		}
-		prev = rec.ID
-		nv.gen++
-		nv.insR, nv.delR = applyOps(nv.insR, nv.delR, nv.baseIDR, rec.U.InsertR, rec.U.DeleteR)
-		nv.insS, nv.delS = applyOps(nv.insS, nv.delS, nv.baseIDS, rec.U.InsertS, rec.U.DeleteS)
+		nv.mut = m
+		nv.baseSize = m.SizeBytes()
+		st.inplace.Add(uint64(inplaceOps))
+		// Replayed records are already in the log; counting them here
+		// means the first post-recovery applies snapshot early and
+		// prune the recovered tail.
+		st.snapPending += len(recs)
+	} else {
+		nv.baseR = cur.baseR
+		nv.baseS = cur.baseS
+		nv.baseIDR = cur.baseIDR
+		nv.baseIDS = cur.baseIDS
+		nv.base = cur.base
+		nv.baseMass = cur.baseMass
+		nv.baseSize = cur.baseSize
+		nv.donorS = cur.donorS
+		nv.insR = cur.insR
+		nv.insS = cur.insS
+		nv.delR = cur.delR
+		nv.delS = cur.delS
+		for _, rec := range recs {
+			if rec.ID <= prev {
+				return fmt.Errorf("%w: replay ID %d not after %d", ErrUpdateSequence, rec.ID, prev)
+			}
+			prev = rec.ID
+			nv.gen++
+			nv.insR, nv.delR = applyOps(nv.insR, nv.delR, nv.baseIDR, rec.U.InsertR, rec.U.DeleteR)
+			nv.insS, nv.delS = applyOps(nv.insS, nv.delS, nv.baseIDS, rec.U.InsertS, rec.U.DeleteS)
+		}
 	}
 	nv.lastID = prev
 	if err := st.finishView(nv); err != nil {
 		return err
 	}
-	for _, rec := range recs {
-		st.log = append(st.log, rec.U)
+	if st.rebuilding {
+		for _, rec := range recs {
+			st.log = append(st.log, rec.U)
+		}
 	}
 	st.lastApplied = prev
 	st.swapLocked(nv)

@@ -1,13 +1,29 @@
 // Package dynamic makes the paper's bulk-built join samplers mutable.
 // The structures of "Random Sampling over Spatial Range Joins" are
 // built once over immutable R and S; a serving system also needs
-// insert and delete. This package lands that LSM-style: a Store holds
-// the bulk-built *base* sampler plus per-side insert buffers and
-// delete tombstones, samples uniformly from the live join through a
-// weighted mixture over {base, delta} components (see overlay.go for
-// the uniformity argument), and — when the delta fraction crosses a
-// threshold — rebuilds the base in a background goroutine at a bumped
-// *generation number* and swaps it in atomically.
+// insert and delete. This package lands that two ways:
+//
+//   - In-place maintenance (the default when the base supports it):
+//     a base implementing Unfreezer — the BBST pipeline — is converted
+//     once into a core.Mutable, and every Apply after that edits the
+//     live structures copy-on-write along the touched path only, in
+//     Õ(ops) per batch. There are no insert buffers, no tombstones,
+//     and no threshold: steady churn never rebuilds. A bulk rebuild
+//     happens only on explicit Compact, or in the background when the
+//     live S count drifts so far from what the bucket capacity was
+//     sized for that the corner bounds would rot the acceptance rate
+//     (core.Mutable.NeedsRebase, the pathological-skew escape hatch).
+//
+//   - The delta overlay (bases without Unfreeze, or DisableInPlace):
+//     the Store holds the bulk-built *base* sampler plus per-side
+//     insert buffers and delete tombstones, samples uniformly from the
+//     live join through a weighted mixture over {base, delta}
+//     components (see overlay.go for the uniformity argument), and —
+//     when the delta fraction crosses a threshold — rebuilds the base
+//     in a background goroutine and swaps it in atomically.
+//
+// Either way every applied batch bumps the store's *generation
+// number*.
 //
 // Generations are the invalidation currency of the serving stack:
 // every applied batch bumps the store's generation, registry keys
@@ -123,10 +139,14 @@ type Config struct {
 	// RebuildFraction is the delta fraction that triggers a
 	// background base rebuild (<= 0 means DefaultRebuildFraction).
 	RebuildFraction float64
-	// DisableAutoRebuild suppresses threshold-triggered rebuilds;
-	// Compact still rebuilds on demand. Tests use it to pin the
-	// overlay path.
+	// DisableAutoRebuild suppresses threshold-triggered rebuilds and
+	// the in-place path's skew escape hatch; Compact still rebuilds on
+	// demand. Tests use it to pin the current structures.
 	DisableAutoRebuild bool
+	// DisableInPlace forces the delta-overlay path even when the base
+	// sampler supports in-place maintenance (Unfreezer). Tests use it
+	// to pin the overlay path; operators can use it as an escape hatch.
+	DisableInPlace bool
 	// OnGeneration, when non-nil, is invoked with the new generation
 	// after every view swap — Applies AND background rebuild swaps,
 	// which bump the generation with no Apply in sight. The serving
@@ -182,7 +202,15 @@ type view struct {
 	baseIDR, baseIDS map[int32]struct{}
 	base             core.Cloner // prepared through Count; nil when the base join is empty
 	baseMass         float64     // the base sampler's Σµ
+	baseSize         int         // full footprint of the base structures (or the mutable index version)
+	baseOwned        bool        // this view bulk-built its base (vs sharing the previous view's)
 	donorS           *core.KDS   // lazily-indexed donor over baseS for the ib component
+
+	// mut, when non-nil, is the in-place maintained index line: this
+	// view's version of the incrementally-updated structures. Mutable
+	// views carry no insert buffers, no tombstones, and none of the
+	// base fields above — the index IS the current dataset.
+	mut *core.Mutable
 
 	insR, insS []geom.Point
 	delR, delS map[int32]struct{}
@@ -214,12 +242,27 @@ type Store struct {
 	rebuildDone    chan struct{}
 	lastRebuildErr error
 	lastPersistErr error
-	acc            engine.Stats // counters of retired view engines
+
+	// snapPending counts write-ahead records applied since the last
+	// snapshot, and snapshotting guards the one in-flight background
+	// snapshot. The overlay path snapshots as a side effect of its
+	// threshold rebuilds; the in-place path retires those, so it prunes
+	// the log on this cadence instead (maybeSnapshotLocked).
+	snapPending  int
+	snapshotting bool
+	snapDone     chan struct{}
+	acc          engine.Stats // counters of retired view engines
 
 	// rebuilds counts base rebuilds that swapped in successfully
 	// (background compactions and explicit Compact calls alike). It
 	// backs srj_store_rebuilds_total and never decreases.
 	rebuilds atomic.Uint64
+
+	// inplace counts operations absorbed by in-place index maintenance
+	// (no buffering, no rebuild). It backs srj_store_inplace_ops_total
+	// and the /v1/stats inplace_ops field; in steady churn it grows
+	// while rebuilds stays flat.
+	inplace atomic.Uint64
 
 	// testHookSwap, when set (by tests, before serving), runs under mu
 	// immediately after every view swap — the in-lock invariant hook
@@ -250,12 +293,13 @@ func NewStore(R, S []geom.Point, cfg Config) (*Store, error) {
 	}
 	st := &Store{cfg: cfg, lastApplied: cfg.InitialLastApplied}
 	v := &view{
-		gen:     cfg.InitialGeneration,
-		lastID:  cfg.InitialLastApplied,
-		baseR:   R,
-		baseS:   S,
-		baseIDR: idSet(R),
-		baseIDS: idSet(S),
+		gen:       cfg.InitialGeneration,
+		lastID:    cfg.InitialLastApplied,
+		baseR:     R,
+		baseS:     S,
+		baseIDR:   idSet(R),
+		baseIDS:   idSet(S),
+		baseOwned: true,
 	}
 	if err := st.buildBaseInto(v); err != nil {
 		return nil, err
@@ -323,13 +367,74 @@ func (st *Store) buildBaseInto(v *view) error {
 	}
 	v.base = base
 	v.baseMass = base.Stats().MuSum
+	v.baseSize = base.SizeBytes()
 	return nil
+}
+
+// Unfreezer is implemented by base samplers whose frozen structures
+// convert into a core.Mutable for in-place maintenance (the BBST
+// pipeline). Bases without it stay on the delta-overlay path.
+type Unfreezer interface {
+	Unfreeze() (*core.Mutable, error)
+}
+
+// mutableTipLocked resolves the in-place handle the next apply should
+// extend: the current view's, or a fresh unfreeze when this is the
+// first apply onto a bulk-built base that supports it. Returns nil
+// when the store is (or must stay) on the overlay path. Called with
+// mu held — Unfreeze is the one O(n + m) step of the in-place line.
+func (st *Store) mutableTipLocked(v *view) *core.Mutable {
+	if v.mut != nil {
+		return v.mut
+	}
+	if st.cfg.DisableInPlace || v.base == nil || v.deltaOps() != 0 {
+		return nil
+	}
+	uf, ok := v.base.(Unfreezer)
+	if !ok {
+		return nil
+	}
+	m, err := uf.Unfreeze()
+	if err != nil {
+		return nil // this base line cannot go mutable; the overlay path serves it
+	}
+	return m
+}
+
+// mutOps converts an Update into the core batch type. Slices are
+// shared — ApplyOps only reads them.
+func mutOps(u Update) core.MutOps {
+	return core.MutOps{InsR: u.InsertR, InsS: u.InsertS, DelR: u.DeleteR, DelS: u.DeleteS}
 }
 
 // buildComponents assembles the view's mixture components in a fixed
 // order — base, base×insS, insR×base, insR×insS — so replicas built
-// from the same op sequence are byte-identical.
+// from the same op sequence are byte-identical. A mutable view is a
+// single component over its index version.
+//
+// Component size charging: each component's size field is what the
+// view's engine reports to the registry budget. The base structures
+// are shared by every view stacked on one bulk build, so only the
+// owning view (the one that built them) charges them; derived views
+// charge their deltas alone. The same applies to mutable versions,
+// which share almost all structure copy-on-write with the bulk build
+// they were unfrozen from. Store.SizeBytes adds the shared base back
+// exactly once.
 func (st *Store) buildComponents(v *view) ([]component, error) {
+	if v.mut != nil {
+		mc, err := v.mut.Clone()
+		if err != nil {
+			return nil, err
+		}
+		size := 0
+		if v.baseOwned {
+			size = v.baseSize
+		}
+		return []component{{
+			trial:  mc.(core.Trial),
+			shared: &componentShared{mass: v.mut.Stats().MuSum, size: size},
+		}}, nil
+	}
 	dcfg := st.deltaCfg()
 	var comps []component
 	addKDS := func(k *core.KDS, rejR, rejS map[int32]struct{}) error {
@@ -342,7 +447,7 @@ func (st *Store) buildComponents(v *view) ([]component, error) {
 		}
 		comps = append(comps, component{
 			trial:  k,
-			shared: &componentShared{mass: k.Stats().MuSum, rejR: rejR, rejS: rejS},
+			shared: &componentShared{mass: k.Stats().MuSum, size: k.SizeBytes(), rejR: rejR, rejS: rejS},
 		})
 		return nil
 	}
@@ -361,10 +466,15 @@ func (st *Store) buildComponents(v *view) ([]component, error) {
 		if !ok {
 			return nil, fmt.Errorf("dynamic: %s clone does not support trials", v.base.Name())
 		}
+		size := 0
+		if v.baseOwned {
+			size = v.baseSize
+		}
 		comps = append(comps, component{
 			trial: trial,
 			shared: &componentShared{
 				mass: v.baseMass,
+				size: size,
 				rejR: nilIfEmpty(v.delR),
 				rejS: nilIfEmpty(v.delS),
 			},
@@ -460,23 +570,21 @@ func (st *Store) Apply(ctx context.Context, u Update) (uint64, error) {
 // applyOps derives one side's new insert buffer and tombstone set
 // (copy-on-write: the previous view's are never mutated). Deletes
 // drop every buffered copy of the ID and tombstone the base copy when
-// one exists; inserts append.
+// one exists; inserts append. The removals are collected into a set
+// first and the buffer filtered in one pass, so the cost is
+// O(|buffer| + |batch|), not O(|buffer| · |deletes|).
 func applyOps(ins []geom.Point, del, baseIDs map[int32]struct{}, add []geom.Point, remove []int32) ([]geom.Point, map[int32]struct{}) {
-	nIns := make([]geom.Point, len(ins), len(ins)+len(add))
-	copy(nIns, ins)
 	nDel := del
+	var rm map[int32]struct{}
 	copied := false
 	for _, id := range remove {
-		kept := nIns[:0]
-		for _, p := range nIns {
-			if p.ID != id {
-				kept = append(kept, p)
-			}
+		if rm == nil {
+			rm = make(map[int32]struct{}, len(remove))
 		}
-		nIns = kept
+		rm[id] = struct{}{}
 		if _, inBase := baseIDs[id]; inBase {
 			if !copied {
-				m := make(map[int32]struct{}, len(nDel)+1)
+				m := make(map[int32]struct{}, len(nDel)+len(remove))
 				for k := range nDel {
 					m[k] = struct{}{}
 				}
@@ -484,6 +592,12 @@ func applyOps(ins []geom.Point, del, baseIDs map[int32]struct{}, add []geom.Poin
 				copied = true
 			}
 			nDel[id] = struct{}{}
+		}
+	}
+	nIns := make([]geom.Point, 0, len(ins)+len(add))
+	for _, p := range ins {
+		if _, dead := rm[p.ID]; !dead {
+			nIns = append(nIns, p)
 		}
 	}
 	nIns = append(nIns, add...)
@@ -521,10 +635,18 @@ func addStats(a, b engine.Stats) engine.Stats {
 	return a
 }
 
-// maybeRebuildLocked schedules a background base rebuild when the
-// delta fraction crosses the threshold. Called with mu held.
+// maybeRebuildLocked schedules a background base rebuild: on the
+// overlay path when the delta fraction crosses the threshold, on the
+// in-place path only when the skew escape hatch trips. Called with mu
+// held.
 func (st *Store) maybeRebuildLocked(v *view) {
 	if st.rebuilding || st.cfg.DisableAutoRebuild {
+		return
+	}
+	if v.mut != nil {
+		if v.mut.NeedsRebase() {
+			st.startRebuildLocked(v)
+		}
 		return
 	}
 	delta := v.deltaOps()
@@ -539,32 +661,48 @@ func (st *Store) maybeRebuildLocked(v *view) {
 }
 
 // startRebuildLocked launches the background rebuild goroutine over
-// the given view. Called with mu held and st.rebuilding false.
+// the given view. Called with mu held and st.rebuilding false. The
+// log starts empty: it accumulates exactly the updates applied while
+// this rebuild is in flight (everything earlier is inside v), so the
+// log never grows during steady serving.
 func (st *Store) startRebuildLocked(v *view) {
 	st.rebuilding = true
 	st.rebuildDone = make(chan struct{})
-	go st.rebuild(v, len(st.log), st.rebuildDone)
+	st.log = nil
+	st.snapPending = 0 // the rebuild swap snapshots on its own
+	go st.rebuild(v, st.rebuildDone)
 }
 
 // rebuild is the background compaction: materialize the current point
-// sets from the snapshot view, bulk-build a fresh base outside the
-// lock, then — under the lock — replay the updates that arrived while
-// building into fresh deltas over the new base and swap the result in
-// at a bumped generation.
-func (st *Store) rebuild(v *view, snap int, done chan struct{}) {
+// sets from the snapshot view (the live sets of a mutable version, or
+// base minus tombstones plus inserts on the overlay path), bulk-build
+// a fresh base outside the lock, then — under the lock — replay the
+// updates that arrived while building into fresh deltas over the new
+// base and swap the result in at a bumped generation. The swapped-in
+// view is frozen either way; a store on the in-place path unfreezes
+// again on its next apply.
+func (st *Store) rebuild(v *view, done chan struct{}) {
 	defer close(done)
-	R := materialize(v.baseR, v.delR, v.insR)
-	S := materialize(v.baseS, v.delS, v.insS)
+	var R, S []geom.Point
+	if v.mut != nil {
+		R, S = v.mut.LivePoints()
+	} else {
+		R = materialize(v.baseR, v.delR, v.insR)
+		S = materialize(v.baseS, v.delS, v.insS)
+	}
 	nv := &view{
-		baseR:   R,
-		baseS:   S,
-		baseIDR: idSet(R),
-		baseIDS: idSet(S),
+		baseR:     R,
+		baseS:     S,
+		baseIDR:   idSet(R),
+		baseIDS:   idSet(S),
+		baseOwned: true,
 	}
 	buildErr := st.buildBaseInto(nv) // the expensive bulk build, outside mu
 
 	st.mu.Lock()
 	st.rebuilding = false
+	pending := st.log
+	st.log = nil
 	if buildErr != nil {
 		st.lastRebuildErr = buildErr
 		st.mu.Unlock()
@@ -573,7 +711,6 @@ func (st *Store) rebuild(v *view, snap int, done chan struct{}) {
 	cur := st.view.Load()
 	nv.gen = cur.gen + 1
 	nv.lastID = cur.lastID
-	pending := st.log[snap:]
 	for _, u := range pending {
 		nv.insR, nv.delR = applyOps(nv.insR, nv.delR, nv.baseIDR, u.InsertR, u.DeleteR)
 		nv.insS, nv.delS = applyOps(nv.insS, nv.delS, nv.baseIDS, u.InsertS, u.DeleteS)
@@ -584,7 +721,6 @@ func (st *Store) rebuild(v *view, snap int, done chan struct{}) {
 		return
 	}
 	st.lastRebuildErr = nil
-	st.log = append([]Update(nil), pending...)
 	st.rebuilds.Add(1)
 	st.swapLocked(nv)
 	// The pending tail can itself exceed the threshold under heavy
@@ -605,6 +741,44 @@ func (st *Store) rebuild(v *view, snap int, done chan struct{}) {
 	st.mu.Unlock()
 }
 
+// maybeSnapshotLocked schedules a background snapshot of a mutable
+// view once the write-ahead records since the last snapshot reach the
+// rebuild fraction of the live point count — the cadence the retired
+// threshold rebuild used to provide. Without it the in-place path
+// would never prune the log: steady churn runs no rebuilds, and the
+// rebuild swap was the only snapshot trigger. Called with mu held.
+func (st *Store) maybeSnapshotLocked(v *view) {
+	p := st.cfg.Persister
+	if p == nil || v.mut == nil || st.snapshotting || st.rebuilding {
+		return
+	}
+	ix := v.mut.Index()
+	if float64(st.snapPending) < st.cfg.rebuildFraction()*float64(ix.NumR()+ix.NumS()) {
+		return
+	}
+	st.snapPending = 0
+	st.snapshotting = true
+	st.snapDone = make(chan struct{})
+	go st.snapshot(v, p)
+}
+
+// snapshot persists one mutable view's live point sets, outside the
+// lock — the version is immutable, so appliers keep deriving new
+// versions while it is read. The snapshot covers everything folded
+// into v (all records <= v.lastID): the log prunes up to there.
+func (st *Store) snapshot(v *view, p Persister) {
+	R, S := v.mut.LivePoints()
+	err := p.Snapshot(v.gen, v.lastID, R, S)
+	st.mu.Lock()
+	st.snapshotting = false
+	st.lastPersistErr = err
+	close(st.snapDone)
+	// Records applied while this snapshot ran can already exceed the
+	// cadence under heavy write load; check once so pruning keeps up.
+	st.maybeSnapshotLocked(st.view.Load())
+	st.mu.Unlock()
+}
+
 // materialize flattens one side: base minus tombstones plus inserts.
 func materialize(base []geom.Point, del map[int32]struct{}, ins []geom.Point) []geom.Point {
 	out := make([]geom.Point, 0, len(base)+len(ins))
@@ -616,15 +790,17 @@ func materialize(base []geom.Point, del map[int32]struct{}, ins []geom.Point) []
 	return append(out, ins...)
 }
 
-// Compact forces a base rebuild now (folding every buffered insert
-// and tombstone into a fresh bulk build) and waits for the swap. A
-// rebuild already in flight is waited for instead of doubled. It
-// returns nil when there is nothing to compact.
+// Compact forces a base rebuild now — folding every buffered insert
+// and tombstone, or the whole in-place maintained state, into a fresh
+// bulk build — and waits for the swap. A rebuild already in flight is
+// waited for instead of doubled. It returns nil when there is nothing
+// to compact: no buffered deltas and no in-place changes since the
+// last bulk build.
 func (st *Store) Compact(ctx context.Context) error {
 	st.mu.Lock()
 	if !st.rebuilding {
 		v := st.view.Load()
-		if v.deltaOps() == 0 {
+		if v.deltaOps() == 0 && v.mut == nil {
 			st.mu.Unlock()
 			return nil
 		}
@@ -724,11 +900,17 @@ func (st *Store) Stats() engine.Stats {
 }
 
 // SizeBytes estimates the retained footprint of the current view:
-// mixture structures, point buffers, and tombstone sets. During a
-// rebuild the transient next base is not counted.
+// mixture structures, point buffers, and tombstone sets. The view
+// engine (overlaySize) charges the shared base only on the view that
+// bulk-built it, so derived views add it back here exactly once —
+// resident structures are never counted twice. During a rebuild the
+// transient next base is not counted.
 func (st *Store) SizeBytes() int {
 	v := st.view.Load()
 	total := v.overlaySize
+	if !v.baseOwned {
+		total += v.baseSize
+	}
 	total += 24 * (len(v.baseR) + len(v.baseS) + len(v.insR) + len(v.insS))
 	total += 16 * (len(v.delR) + len(v.delS))
 	return total
@@ -742,10 +924,20 @@ func (st *Store) Pending() int { return st.view.Load().deltaOps() }
 // store was created.
 func (st *Store) Rebuilds() uint64 { return st.rebuilds.Load() }
 
+// InPlaceOps reports how many operations were absorbed by in-place
+// index maintenance since the store was created.
+func (st *Store) InPlaceOps() uint64 { return st.inplace.Load() }
+
+// InPlace reports whether the current view is served by the in-place
+// maintained index (vs the delta overlay or a freshly bulk-built
+// base).
+func (st *Store) InPlace() bool { return st.view.Load().mut != nil }
+
 // DeltaFraction reports buffered mutations relative to the current
 // base size — the rebuild threshold's own ratio, exported as the
 // srj_store_delta_fraction gauge. An empty base with pending ops
-// reports 1.
+// reports 1. A view on the in-place path buffers nothing, so it
+// reports 0 regardless of how many operations it has absorbed.
 func (st *Store) DeltaFraction() float64 {
 	v := st.view.Load()
 	delta := v.deltaOps()
@@ -798,18 +990,24 @@ func (st *Store) EstimateJoinSize(samples int) (float64, error) {
 // quiesce waits for an in-flight background rebuild (tests and
 // shutdown paths); it does not prevent new ones.
 func (st *Store) quiesce(ctx context.Context) error {
-	st.mu.Lock()
-	done := st.rebuildDone
-	rebuilding := st.rebuilding
-	st.mu.Unlock()
-	if !rebuilding {
-		return nil
-	}
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	for {
+		st.mu.Lock()
+		var done chan struct{}
+		switch {
+		case st.rebuilding:
+			done = st.rebuildDone
+		case st.snapshotting:
+			done = st.snapDone
+		}
+		st.mu.Unlock()
+		if done == nil {
+			return nil
+		}
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 }
 

@@ -32,10 +32,14 @@ import (
 )
 
 func TestStoreConcurrentApplyDrawEvictRebuild(t *testing.T) {
+	inBothModes(t, testStoreConcurrentApplyDrawEvictRebuild)
+}
+
+func testStoreConcurrentApplyDrawEvictRebuild(t *testing.T, tweak func(Config) Config) {
 	R, S := testData(t)
 	l := 1500.0
-	cfg := testConfig(l, 21)
-	cfg.RebuildFraction = 0.02 // rebuild constantly under the hammer
+	cfg := tweak(testConfig(l, 21))
+	cfg.RebuildFraction = 0.02 // overlay mode: rebuild constantly under the hammer
 	st, err := NewStore(R, S, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +68,27 @@ func TestStoreConcurrentApplyDrawEvictRebuild(t *testing.T) {
 	st.testHookSwap = func(v *view) {
 		if prev := lastGen.Swap(v.gen); v.gen <= prev {
 			fail("generation moved backwards: %d after %d", v.gen, prev)
+		}
+		if v.mut != nil {
+			// In-place path: the swapped-in version must satisfy every
+			// bucket invariant (µ consistency, free-list integrity, ID
+			// indexes matching live slots), and no poisoned ID may still
+			// be indexed as live.
+			ix := v.mut.Index()
+			if err := ix.CheckInvariants(); err != nil {
+				fail("gen %d: bucket invariants: %v", v.gen, err)
+			}
+			for id := range poisonR {
+				if ix.HasR(id) {
+					fail("gen %d: poisoned R point %d live in a swapped-in mutable index", v.gen, id)
+				}
+			}
+			for id := range poisonS {
+				if ix.HasS(id) {
+					fail("gen %d: poisoned S point %d live in a swapped-in mutable index", v.gen, id)
+				}
+			}
+			return
 		}
 		for id := range v.delR {
 			if _, ok := v.baseIDR[id]; !ok {

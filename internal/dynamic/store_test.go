@@ -25,6 +25,19 @@ func testConfig(l float64, seed uint64) Config {
 	}
 }
 
+// inBothModes runs fn once on the in-place maintenance path and once
+// with the delta-overlay path pinned, so path-agnostic store
+// properties (uniformity, determinism, estimation) are asserted on
+// both write paths.
+func inBothModes(t *testing.T, fn func(t *testing.T, tweak func(Config) Config)) {
+	t.Run("inplace", func(t *testing.T) {
+		fn(t, func(c Config) Config { return c })
+	})
+	t.Run("overlay", func(t *testing.T) {
+		fn(t, func(c Config) Config { c.DisableInPlace = true; return c })
+	})
+}
+
 // testData generates the unit-test point sets: small enough to brute
 // force, dense enough for a meaningful join.
 func testData(t *testing.T) (R, S []geom.Point) {
@@ -159,13 +172,19 @@ func TestStoreAppliesAndGenerations(t *testing.T) {
 	checkSupport(t, drawAll(t, st, 4000), jset)
 }
 
-// TestStoreUniformityAfterUpdates: the mixture must stay uniform over
-// the live join — chi-square against the brute-force join of the
-// current point sets, with the overlay path pinned (no rebuild).
+// TestStoreUniformityAfterUpdates: sampling must stay uniform over
+// the live join after mutations — chi-square against the brute-force
+// join of the current point sets, on both write paths (in-place index
+// maintenance and the delta-overlay mixture), with rebuilds pinned
+// off.
 func TestStoreUniformityAfterUpdates(t *testing.T) {
+	inBothModes(t, testStoreUniformityAfterUpdates)
+}
+
+func testStoreUniformityAfterUpdates(t *testing.T, tweak func(Config) Config) {
 	R, S := testData(t)
 	l := 1000.0
-	cfg := testConfig(l, 3)
+	cfg := tweak(testConfig(l, 3))
 	cfg.DisableAutoRebuild = true
 	st, err := NewStore(R, S, cfg)
 	if err != nil {
@@ -234,10 +253,14 @@ func TestStoreUniformityAfterUpdates(t *testing.T) {
 // same op sequence agree byte for byte — the property that keeps a
 // broadcast fleet's shards interchangeable.
 func TestStoreDeterminismWithinGeneration(t *testing.T) {
+	inBothModes(t, testStoreDeterminismWithinGeneration)
+}
+
+func testStoreDeterminismWithinGeneration(t *testing.T, tweak func(Config) Config) {
 	R, S := testData(t)
 	l := 1000.0
 	mk := func() *Store {
-		cfg := testConfig(l, 5)
+		cfg := tweak(testConfig(l, 5))
 		cfg.DisableAutoRebuild = true
 		st, err := NewStore(R, S, cfg)
 		if err != nil {
@@ -331,13 +354,16 @@ func TestStoreEmptyLifecycle(t *testing.T) {
 	}
 }
 
-// TestStoreAutoRebuild: crossing the delta threshold triggers the
+// TestStoreAutoRebuild: on the overlay path (pinned via
+// DisableInPlace — a BBST base would otherwise absorb the ops in
+// place and never rebuild), crossing the delta threshold triggers the
 // background rebuild, which bumps the generation, folds the deltas
 // into the base, and keeps serving the same join.
 func TestStoreAutoRebuild(t *testing.T) {
 	R, S := testData(t)
 	l := 1000.0
 	cfg := testConfig(l, 9)
+	cfg.DisableInPlace = true
 	cfg.RebuildFraction = 0.05 // 120 base points: 6+ ops trigger
 	var hookGens []uint64
 	var hookMu sync.Mutex
@@ -388,9 +414,13 @@ func TestStoreAutoRebuild(t *testing.T) {
 // TestStoreEstimateJoinSize: the acceptance-rate estimator tracks the
 // live join size through updates.
 func TestStoreEstimateJoinSize(t *testing.T) {
+	inBothModes(t, testStoreEstimateJoinSize)
+}
+
+func testStoreEstimateJoinSize(t *testing.T, tweak func(Config) Config) {
 	R, S := testData(t)
 	l := 1000.0
-	cfg := testConfig(l, 13)
+	cfg := tweak(testConfig(l, 13))
 	cfg.DisableAutoRebuild = true
 	st, err := NewStore(R, S, cfg)
 	if err != nil {

@@ -168,6 +168,8 @@ type StoreInfo struct {
 	DeltaFraction float64      `json:"delta_fraction"`
 	PendingOps    int          `json:"pending_ops"`
 	Rebuilds      uint64       `json:"rebuilds"`
+	InPlaceOps    uint64       `json:"inplace_ops"`
+	InPlace       bool         `json:"inplace,omitempty"`
 	SizeBytes     int          `json:"size_bytes"`
 	Engine        engine.Stats `json:"engine"`
 
@@ -214,6 +216,8 @@ func (s *Stores) Infos() []StoreInfo {
 			DeltaFraction: st.DeltaFraction(),
 			PendingOps:    st.Pending(),
 			Rebuilds:      st.Rebuilds(),
+			InPlaceOps:    st.InPlaceOps(),
+			InPlace:       st.InPlace(),
 			SizeBytes:     st.SizeBytes(),
 			Engine:        st.Stats(),
 			LastAppliedID: st.LastApplied(),

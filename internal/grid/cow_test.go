@@ -1,0 +1,168 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// oracleCell rebuilds the expected cell naively: filter, append, sort.
+func oracleCell(key Key, c *Cell, ins []geom.Point, drop func(geom.Point) bool) *Cell {
+	var pts []geom.Point
+	if c != nil {
+		for _, p := range c.XSorted {
+			if drop == nil || !drop(p) {
+				pts = append(pts, p)
+			}
+		}
+	}
+	pts = append(pts, ins...)
+	if len(pts) == 0 {
+		return nil
+	}
+	xs := append([]geom.Point(nil), pts...)
+	ys := append([]geom.Point(nil), pts...)
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].X < xs[j].X })
+	sort.SliceStable(ys, func(i, j int) bool { return ys[i].Y < ys[j].Y })
+	return &Cell{Key: key, XSorted: xs, YSorted: ys}
+}
+
+func samePointSet(t *testing.T, label string, got, want []geom.Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d, want %d", label, len(got), len(want))
+	}
+	key := func(p geom.Point) [3]float64 { return [3]float64{p.X, p.Y, float64(p.ID)} }
+	cnt := map[[3]float64]int{}
+	for _, p := range want {
+		cnt[key(p)]++
+	}
+	for _, p := range got {
+		cnt[key(p)]--
+		if cnt[key(p)] < 0 {
+			t.Fatalf("%s: unexpected point %+v", label, p)
+		}
+	}
+}
+
+func checkSorted(t *testing.T, label string, pts []geom.Point, get func(geom.Point) float64) {
+	t.Helper()
+	for i := 1; i < len(pts); i++ {
+		if get(pts[i-1]) > get(pts[i]) {
+			t.Fatalf("%s: out of order at %d", label, i)
+		}
+	}
+}
+
+func randPts(r *rng.RNG, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, 10), Y: r.Range(0, 10), ID: int32(r.Intn(1 << 20))}
+	}
+	return pts
+}
+
+func TestWithUpdatesVsOracle(t *testing.T) {
+	r := rng.New(11)
+	key := Key{CX: 3, CY: -2}
+	for trial := 0; trial < 300; trial++ {
+		var c *Cell
+		if r.Bool(0.8) {
+			base := randPts(r, r.Intn(30))
+			c = oracleCell(key, nil, base, nil)
+		}
+		ins := randPts(r, r.Intn(10))
+		var drop func(geom.Point) bool
+		if r.Bool(0.6) {
+			cut := r.Range(0, 10)
+			drop = func(p geom.Point) bool { return p.X < cut }
+		}
+		var beforeX, beforeY []geom.Point
+		if c != nil {
+			beforeX = append([]geom.Point(nil), c.XSorted...)
+			beforeY = append([]geom.Point(nil), c.YSorted...)
+		}
+		got := WithUpdates(key, c, ins, drop)
+		want := oracleCell(key, c, ins, drop)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("trial %d: nil mismatch got=%v want=%v", trial, got == nil, want == nil)
+		}
+		if got == nil {
+			continue
+		}
+		if got.Key != key {
+			t.Fatalf("trial %d: key %v", trial, got.Key)
+		}
+		samePointSet(t, "XSorted", got.XSorted, want.XSorted)
+		samePointSet(t, "YSorted", got.YSorted, want.YSorted)
+		checkSorted(t, "XSorted", got.XSorted, func(p geom.Point) float64 { return p.X })
+		checkSorted(t, "YSorted", got.YSorted, func(p geom.Point) float64 { return p.Y })
+		if c != nil {
+			samePointSet(t, "original XSorted mutated", c.XSorted, beforeX)
+			samePointSet(t, "original YSorted mutated", c.YSorted, beforeY)
+			checkSorted(t, "original XSorted", c.XSorted, func(p geom.Point) float64 { return p.X })
+			checkSorted(t, "original YSorted", c.YSorted, func(p geom.Point) float64 { return p.Y })
+		}
+	}
+}
+
+func TestWithUpdatesEdgeCases(t *testing.T) {
+	key := Key{CX: 0, CY: 0}
+	if got := WithUpdates(key, nil, nil, nil); got != nil {
+		t.Fatal("empty in, empty out: want nil")
+	}
+	// Insert into a nil cell.
+	ins := []geom.Point{{X: 2, Y: 1, ID: 1}, {X: 1, Y: 2, ID: 2}}
+	got := WithUpdates(key, nil, ins, nil)
+	if got == nil || len(got.XSorted) != 2 {
+		t.Fatalf("insert into nil cell: %+v", got)
+	}
+	if got.XSorted[0].ID != 2 || got.YSorted[0].ID != 1 {
+		t.Fatalf("orders wrong: X head %+v, Y head %+v", got.XSorted[0], got.YSorted[0])
+	}
+	// Drop everything -> nil.
+	if got := WithUpdates(key, got, nil, func(geom.Point) bool { return true }); got != nil {
+		t.Fatal("drop-all should return nil")
+	}
+	// ins slice must not be retained or reordered in place visible to caller.
+	insCopy := append([]geom.Point(nil), ins...)
+	_ = WithUpdates(key, nil, ins, nil)
+	for i := range ins {
+		if ins[i] != insCopy[i] {
+			t.Fatalf("ins mutated at %d", i)
+		}
+	}
+}
+
+// TestWithUpdatesCountsAgree pins that a rebuilt cell answers the
+// four count queries identically to a bulk-built one.
+func TestWithUpdatesCountsAgree(t *testing.T) {
+	r := rng.New(12)
+	key := Key{CX: 1, CY: 1}
+	c := oracleCell(key, nil, randPts(r, 40), nil)
+	ins := randPts(r, 15)
+	drop := func(p geom.Point) bool { return p.ID%3 == 0 }
+	got := WithUpdates(key, c, ins, drop)
+	want := oracleCell(key, c, ins, drop)
+	for i := 0; i < 50; i++ {
+		q := r.Range(-1, 11)
+		a, _ := got.CountXAtLeast(q)
+		b, _ := want.CountXAtLeast(q)
+		if a != b {
+			t.Fatalf("CountXAtLeast(%v) = %d, oracle %d", q, a, b)
+		}
+		if a, b := got.CountXAtMost(q), want.CountXAtMost(q); a != b {
+			t.Fatalf("CountXAtMost(%v) = %d, oracle %d", q, a, b)
+		}
+		a, _ = got.CountYAtLeast(q)
+		b, _ = want.CountYAtLeast(q)
+		if a != b {
+			t.Fatalf("CountYAtLeast(%v) = %d, oracle %d", q, a, b)
+		}
+		if a, b := got.CountYAtMost(q), want.CountYAtMost(q); a != b {
+			t.Fatalf("CountYAtMost(%v) = %d, oracle %d", q, a, b)
+		}
+	}
+}

@@ -183,10 +183,15 @@ func (g *Grid) Len() int { return g.size }
 func (g *Grid) NumCells() int { return len(g.cells) }
 
 // KeyAt returns the key of the cell containing coordinate (x, y).
-func (g *Grid) KeyAt(x, y float64) Key {
+func (g *Grid) KeyAt(x, y float64) Key { return KeyFor(x, y, g.side) }
+
+// KeyFor returns the key of the cell containing (x, y) for the given
+// cell side — the grid-free spelling for callers (the incremental
+// maintenance path) that track cells in a Dir instead of a Grid.
+func KeyFor(x, y, side float64) Key {
 	return Key{
-		CX: int32(math.Floor(x / g.side)),
-		CY: int32(math.Floor(y / g.side)),
+		CX: int32(math.Floor(x / side)),
+		CY: int32(math.Floor(y / side)),
 	}
 }
 

@@ -79,6 +79,11 @@ const (
 	MetricStoreDeltaFraction = "srj_store_delta_fraction"
 	MetricStorePendingOps    = "srj_store_pending_ops"
 	MetricStoreRebuilds      = "srj_store_rebuilds_total"
+	// MetricStoreInPlaceOps counts operations absorbed by in-place
+	// index maintenance. In steady churn it grows while
+	// srj_store_rebuilds_total stays flat — the two together are the
+	// dashboard signal that stores are on the Õ(ops) write path.
+	MetricStoreInPlaceOps = "srj_store_inplace_ops_total"
 
 	// The durability family (internal/wal). All key-free aggregates
 	// over the process's persisted stores, like the store family:

@@ -94,7 +94,7 @@ func (s *Server) collectMetrics(m *obs.MetricSet) {
 	var maxGen, maxApplied uint64
 	var maxDelta float64
 	var pending int
-	var rebuilds uint64
+	var rebuilds, inplaceOps uint64
 	var walAppends, walSyncs, walSnapshots uint64
 	var walSegments int
 	var walBytes int64
@@ -111,6 +111,7 @@ func (s *Server) collectMetrics(m *obs.MetricSet) {
 		}
 		pending += in.PendingOps
 		rebuilds += in.Rebuilds
+		inplaceOps += in.InPlaceOps
 		persisted = persisted || in.WALSegments > 0 || in.WALAppends > 0 || in.WALSnapshots > 0
 		walAppends += in.WALAppends
 		walSyncs += in.WALSyncs
@@ -124,6 +125,7 @@ func (s *Server) collectMetrics(m *obs.MetricSet) {
 	// Stores are never dropped from the map, so this sum of per-store
 	// counters is monotonic and may be exported as a counter.
 	m.Counter(obs.MetricStoreRebuilds, "Store base rebuilds swapped in.", float64(rebuilds))
+	m.Counter(obs.MetricStoreInPlaceOps, "Operations absorbed by in-place index maintenance.", float64(inplaceOps))
 	m.Gauge(obs.MetricStoreLastApplied, "Highest last-applied update ID across stores.", float64(maxApplied))
 	if persisted {
 		// Durability families appear only on servers running with a

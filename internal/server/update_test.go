@@ -167,6 +167,34 @@ func TestUpdateEndToEnd(t *testing.T) {
 				}
 			}
 
+			// The in-place write path is observable: /v1/stats reports
+			// the absorbed ops with zero rebuilds (update 1 carried 3
+			// ops, update 2 carried 1), and /metrics exports the fleet
+			// counter next to srj_store_rebuilds_total.
+			stats, err := cl.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stats.Stores) != 1 {
+				t.Fatalf("stores in stats: %+v", stats.Stores)
+			}
+			info := stats.Stores[0]
+			if info.InPlaceOps != 4 || !info.InPlace || info.Rebuilds != 0 {
+				t.Fatalf("in-place counters not surfaced: %+v", info)
+			}
+			mres, err := cl.hc.Get(cl.base + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(mres.Body); err != nil {
+				t.Fatal(err)
+			}
+			mres.Body.Close()
+			if !strings.Contains(buf.String(), "srj_store_inplace_ops_total 4") {
+				t.Fatalf("srj_store_inplace_ops_total missing from /metrics:\n%s", buf.String())
+			}
+
 			// DELETE /v1/engines drops every generation of the key.
 			evicted, err := cl.EvictEngine(ctx, registry.Key{Dataset: "tiny", L: l, Algorithm: "bbst", Seed: 5})
 			if err != nil || !evicted {

@@ -333,6 +333,98 @@ func RunUpdatableConformance(t *testing.T, newUpdatable MakeUpdatable, opts ...U
 		}
 	})
 
+	t.Run("sustained churn", func(t *testing.T) {
+		// Hundreds of small batches with roughly constant cardinality —
+		// the steady-churn regime in-place maintenance is built for. The
+		// source must come out of it still uniform over the brute-force
+		// join of the final point sets (an implementation whose
+		// incremental weight updates drift would skew here long before
+		// any single-batch subtest notices) and still deterministic
+		// under equal seeds.
+		src := newUpdatable(t, Config{R: R, S: S, L: l, MaxT: 500_000, BuildSeed: 17})
+		ctx := context.Background()
+		curR, curS := R, S
+		const (
+			rounds = 250
+			window = 40 // live churn inserts per side at steady state
+		)
+		for i := 0; i < rounds; i++ {
+			u := srj.Update{
+				InsertR: []srj.Point{{ID: int32(20_000 + i), X: S[(2*i)%len(S)].X + l/5, Y: S[(2*i)%len(S)].Y - l/7}},
+				InsertS: []srj.Point{{ID: int32(30_000 + i), X: R[(3*i)%len(R)].X - l/6, Y: R[(3*i)%len(R)].Y + l/8}},
+			}
+			if i >= window {
+				u.DeleteR = []int32{int32(20_000 + i - window)}
+				u.DeleteS = []int32{int32(30_000 + i - window)}
+			}
+			if _, err := src.Apply(ctx, u); err != nil {
+				t.Fatalf("churn apply %d: %v", i, err)
+			}
+			curR = modelApply(curR, u.InsertR, u.DeleteR)
+			curS = modelApply(curS, u.InsertS, u.DeleteS)
+		}
+
+		jset := map[[2]int32]bool{}
+		srj.Join(curR, curS, l, func(r, s srj.Point) bool {
+			jset[[2]int32{r.ID, s.ID}] = true
+			return true
+		})
+		if len(jset) < 50 || len(jset) > 20_000 {
+			t.Fatalf("test setup: |J| = %d not in a good range", len(jset))
+		}
+		churnPairs := 0
+		for k := range jset {
+			if k[0] >= 20_000 || k[1] >= 30_000 {
+				churnPairs++
+			}
+		}
+		if churnPairs < 5 {
+			t.Fatalf("test setup: only %d join pairs touch churned points", churnPairs)
+		}
+
+		const draws = 150_000
+		counts := map[[2]int32]int{}
+		err := src.DrawFunc(ctx, srj.Request{T: draws}, func(batch []srj.Pair) error {
+			for _, p := range batch {
+				k := [2]int32{p.R.ID, p.S.ID}
+				if !jset[k] {
+					t.Fatalf("sampled pair %v not in the post-churn join", k)
+				}
+				counts[k]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected := float64(draws) / float64(len(jset))
+		chi2 := 0.0
+		for k := range jset {
+			d := float64(counts[k]) - expected
+			chi2 += d * d / expected
+		}
+		dof := float64(len(jset) - 1)
+		limit := dof + 4*math.Sqrt(2*dof) + 10
+		if chi2 > limit {
+			t.Fatalf("post-churn distribution skewed: chi2 = %.1f > %.1f (dof %g)", chi2, limit, dof)
+		}
+
+		// Equal seeds still replay within the settled generation.
+		a, err := src.Draw(ctx, srj.Request{T: 1500, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := src.Draw(ctx, srj.Request{T: 1500, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Pairs {
+			if a.Pairs[i] != b.Pairs[i] {
+				t.Fatalf("equal seeds diverged at sample %d after sustained churn", i)
+			}
+		}
+	})
+
 	if o.restart != nil {
 		t.Run("durability across restart", func(t *testing.T) {
 			src := newUpdatable(t, Config{R: R, S: S, L: l, MaxT: 500_000, BuildSeed: 16})

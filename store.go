@@ -168,13 +168,26 @@ func (s *Store) Bind() Source { return s }
 // compaction.
 func (s *Store) Generation() uint64 { return s.st.Generation() }
 
-// Compact folds every buffered insert and tombstone into a fresh bulk
-// build now and waits for the swap (the background path does the same
-// when the delta fraction crosses RebuildFraction).
+// Compact folds the current state — buffered deltas, or the in-place
+// maintained index — into a fresh bulk build now and waits for the
+// swap. On the in-place path this is the only planned rebuild; the
+// overlay fallback also rebuilds in the background when its delta
+// fraction crosses RebuildFraction.
 func (s *Store) Compact(ctx context.Context) error { return s.st.Compact(ctx) }
 
-// Pending reports the buffered mutation count awaiting compaction.
+// Pending reports the buffered mutation count awaiting compaction
+// (always 0 on the in-place maintenance path, which buffers nothing).
 func (s *Store) Pending() int { return s.st.Pending() }
+
+// InPlaceOps reports how many operations were absorbed by in-place
+// index maintenance — the Õ(ops) write path that edits the live
+// structures copy-on-write instead of buffering toward a rebuild.
+func (s *Store) InPlaceOps() uint64 { return s.st.InPlaceOps() }
+
+// Rebuilds reports how many base rebuilds have swapped in. In steady
+// churn on the in-place path it stays 0: rebuilds happen only on
+// Compact or when dataset geometry drifts far from the bulk build.
+func (s *Store) Rebuilds() uint64 { return s.st.Rebuilds() }
 
 // Stats aggregates serving counters across all generations served so
 // far.
