@@ -78,6 +78,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		reqT     = fs.Int("reqt", 10000, "serve mode: samples per request")
 		updRate  = fs.Float64("update-rate", 0, "serve mode: fraction of requests that are insert/delete batches instead of draws (0 disables; local mode serves through a mutable Store, remote mode posts /v1/update — which mutates the server-side dataset for the benched key)")
 		metrics  = fs.Bool("metrics", false, "serve mode: dump a Prometheus text-exposition snapshot of the bench's draw metrics after the run")
+		replicas = fs.Int("read-replicas", 0, "remote serve mode: spread the benched key's draws across its first k healthy backends (needs -remote with at least 2 URLs; 0 = single home backend)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +99,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			reqT:       *reqT,
 			updateRate: *updRate,
 			metrics:    *metrics,
+		}
+		cfg.readReplicas = *replicas
+		if *replicas != 0 && *remote == "" {
+			return fmt.Errorf("-read-replicas needs -remote: replica spread is a router property, and the local mode has no fleet")
 		}
 		if *remote != "" {
 			// The dataset lives server-side in remote mode, so a
@@ -175,6 +180,10 @@ type serveConfig struct {
 	reqT       int
 	updateRate float64 // fraction of requests that are update batches
 	metrics    bool    // dump an exposition snapshot after the run
+	// readReplicas spreads the benched key's draws over its first k
+	// healthy backends (remote fleet mode only); the per-backend
+	// request counters printed after the run show the spread.
+	readReplicas int
 }
 
 // printLatencyQuantiles reports p50/p95/p99 interpolated from a draw
@@ -580,14 +589,20 @@ func runServeRemote(ctx context.Context, stdout io.Writer, cfg serveConfig, base
 	case 0:
 		return fmt.Errorf("-remote needs at least one base URL")
 	case 1:
+		if cfg.readReplicas > 1 {
+			return fmt.Errorf("-read-replicas %d needs at least 2 -remote URLs: one backend has nothing to spread over", cfg.readReplicas)
+		}
 		target = clientTarget{cl: srj.NewClientHTTP(addrs[0], hc)}
 	default:
-		rt, err := srj.NewRouter(addrs, srj.RouterOptions{HTTPClient: hc})
+		rt, err := srj.NewRouter(addrs, srj.RouterOptions{HTTPClient: hc, ReadReplicas: cfg.readReplicas})
 		if err != nil {
 			return err
 		}
 		defer rt.Close()
 		target = routerTarget{rt: rt}
+		if cfg.readReplicas > 1 {
+			fmt.Fprintf(stdout, "read replicas: %d (the per-backend request counts after the run show the spread)\n", cfg.readReplicas)
+		}
 	}
 
 	healthCtx, cancelHealth := context.WithTimeout(ctx, 10*time.Second)

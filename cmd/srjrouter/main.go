@@ -13,6 +13,13 @@
 //	srjrouter -backends http://s0:8080,http://s1:8080,http://s2:8080
 //	srjrouter -addr :9090 -backends ... -vnodes 128 -probe-interval 2s
 //	srjrouter http://s0:8080 http://s1:8080        # backends as args
+//	srjrouter -read-replicas 3 -backends ...       # spread reads over 3 nodes
+//
+// Admin mode talks to a *running* router instead of starting one —
+// live ring membership without a restart:
+//
+//	srjrouter -admin http://router:8090 add http://s3:8080
+//	srjrouter -admin http://router:8090 remove http://s1:8080
 //
 // API: srjserver's surface fleet-wide — POST /v1/sample (JSON or
 // framed binary), POST /v1/update (insert/delete batches broadcast to
@@ -21,8 +28,10 @@
 // srjserver's shape), GET/DELETE /v1/engines (concatenated list /
 // broadcast eviction), GET /healthz (200 while any backend answers) —
 // plus GET /v1/router for routing stats (per-backend health and
-// counters, per-key shard assignments) and GET /metrics (Prometheus
-// text exposition; -pprof additionally mounts /debug/pprof/).
+// counters, per-key shard assignments), POST/DELETE
+// /v1/router/backends for live ring membership (what -admin calls),
+// and GET /metrics (Prometheus text exposition; -pprof additionally
+// mounts /debug/pprof/).
 // -log-level info enables structured JSON access logs with request
 // IDs; failovers log at warn.
 package main
@@ -58,9 +67,14 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		probe    = fs.Duration("probe-interval", 0, "backend /healthz probe cadence (0 = default 5s, negative disables)")
 		pprof    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel = fs.String("log-level", "warn", "structured log level: debug, info, warn, error, off")
+		replicas = fs.Int("read-replicas", 0, "spread each key's draws across its first k healthy ring nodes (0 = default 1)")
+		admin    = fs.Bool("admin", false, "admin client mode: srjrouter -admin <router-url> add|remove <backend-url>")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *admin {
+		return runAdmin(ctx, fs.Args(), stdout)
 	}
 	logger, err := buildLogger(*logLevel, stdout)
 	if err != nil {
@@ -80,6 +94,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 	rt, err := srj.NewRouter(list, srj.RouterOptions{
 		VNodes:        *vnodes,
 		ProbeInterval: *probe,
+		ReadReplicas:  *replicas,
 		Logger:        logger,
 		EnablePprof:   *pprof,
 	})
@@ -123,6 +138,37 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		defer cancel()
 		return hs.Shutdown(shutdownCtx)
 	}
+}
+
+// runAdmin is the -admin client mode: one membership change against a
+// running router's POST/DELETE /v1/router/backends endpoint, printing
+// the resulting ring. Adds block until the router has probed the new
+// node and transferred every dataset's state, so a zero exit means
+// the backend is serving.
+func runAdmin(ctx context.Context, args []string, stdout io.Writer) error {
+	if len(args) != 3 {
+		return fmt.Errorf("admin mode: srjrouter -admin <router-url> add|remove <backend-url>")
+	}
+	routerURL, action, backend := args[0], args[1], args[2]
+	cl := srj.NewClient(routerURL)
+	var ring []string
+	var err error
+	switch action {
+	case "add":
+		ring, err = cl.AddRouterBackend(ctx, backend)
+	case "remove":
+		ring, err = cl.RemoveRouterBackend(ctx, backend)
+	default:
+		return fmt.Errorf("admin mode: unknown action %q (want add or remove)", action)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "ring now has %d backends\n", len(ring))
+	for _, b := range ring {
+		fmt.Fprintf(stdout, "  backend %s\n", b)
+	}
+	return nil
 }
 
 // buildLogger returns the process logger writing JSON lines to w at

@@ -264,6 +264,12 @@ type Store struct {
 	// while rebuilds stays flat.
 	inplace atomic.Uint64
 
+	// persistErrs counts snapshot failures. lastPersistErr holds only
+	// the latest one (and clears on success); this counter backs the
+	// monotonic srj_store_persist_errors_total, so an alert fires on
+	// rate() even when a later snapshot happens to succeed.
+	persistErrs atomic.Uint64
+
 	// testHookSwap, when set (by tests, before serving), runs under mu
 	// immediately after every view swap — the in-lock invariant hook
 	// of the race hammer.
@@ -736,6 +742,9 @@ func (st *Store) rebuild(v *view, done chan struct{}) {
 	// tail replayed above is still in the log (pruning stops at
 	// v.lastID), so a crash right here replays it onto this base.
 	err := p.Snapshot(nv.gen, v.lastID, R, S)
+	if err != nil {
+		st.persistErrs.Add(1)
+	}
 	st.mu.Lock()
 	st.lastPersistErr = err
 	st.mu.Unlock()
@@ -769,6 +778,9 @@ func (st *Store) maybeSnapshotLocked(v *view) {
 func (st *Store) snapshot(v *view, p Persister) {
 	R, S := v.mut.LivePoints()
 	err := p.Snapshot(v.gen, v.lastID, R, S)
+	if err != nil {
+		st.persistErrs.Add(1)
+	}
 	st.mu.Lock()
 	st.snapshotting = false
 	st.lastPersistErr = err
@@ -985,6 +997,74 @@ func (st *Store) EstimateJoinSize(samples int) (float64, error) {
 		drawn += n
 	}
 	return aggregate.JoinSizeEstimate(v.est.Stats()), err
+}
+
+// PersistErrors reports how many snapshot attempts have failed since
+// the store was created (see the persistErrs field).
+func (st *Store) PersistErrors() uint64 { return st.persistErrs.Load() }
+
+// Dump snapshots the store's complete logical state: the current
+// generation, the last applied update ID, and the live point sets at
+// that moment. The returned slices are freshly materialized — callers
+// own them. This is the donor half of router state transfer: a store
+// constructed from (R, S) at (gen, lastID) and fed the sequenced
+// updates after lastID converges on this store's *logical* state —
+// the same live points, tombstones, and sequence position. Byte-level
+// draw identity is a stronger property that holds only between stores
+// sharing the same build history (base build plus the same in-place
+// applies in the same order); a store bulk-built from a flattened
+// dump serves correct draws, not necessarily this store's draws.
+func (st *Store) Dump() (gen, lastID uint64, R, S []geom.Point) {
+	v := st.view.Load()
+	if v.mut != nil {
+		R, S = v.mut.LivePoints()
+	} else {
+		R = materialize(v.baseR, v.delR, v.insR)
+		S = materialize(v.baseS, v.delS, v.insS)
+	}
+	return v.gen, v.lastID, R, S
+}
+
+// SnapshotNow persists the store's state through its persister
+// synchronously when that can be done *faithfully* — the shutdown
+// path's bound on recovery time. Faithful means recovery from the
+// snapshot reproduces the exact sampler a live peer at the same
+// generation carries, which holds only when the current view is a
+// pure compacted base (no overlay deltas, no in-place history):
+// snapshotting a mid-history view would flatten its incremental
+// state into a fresh bulk build, and seeded draws after recovery
+// would fork from fleet peers at the same generation. Mid-history
+// stores succeed as a no-op — the write-ahead log already holds
+// every record past the last faithful snapshot, and replay rebuilds
+// the identical incremental history. In-flight background
+// persistence is waited out first, so a snapshot the cadence already
+// started is on disk before shutdown returns. A store without a
+// persister succeeds as a no-op.
+func (st *Store) SnapshotNow(ctx context.Context) error {
+	st.mu.Lock()
+	p := st.cfg.Persister
+	st.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	if err := st.quiesce(ctx); err != nil {
+		return err
+	}
+	v := st.view.Load()
+	if v.mut != nil || v.deltaOps() > 0 {
+		return nil
+	}
+	err := p.Snapshot(v.gen, v.lastID, v.baseR, v.baseS)
+	if err != nil {
+		st.persistErrs.Add(1)
+	}
+	st.mu.Lock()
+	st.lastPersistErr = err
+	if err == nil {
+		st.snapPending = 0
+	}
+	st.mu.Unlock()
+	return err
 }
 
 // quiesce waits for an in-flight background rebuild (tests and

@@ -183,15 +183,47 @@ type StoreInfo struct {
 	WALSyncs       uint64 `json:"wal_syncs,omitempty"`
 	WALSnapshots   uint64 `json:"wal_snapshots,omitempty"`
 	LastSnapshotID uint64 `json:"last_snapshot_id,omitempty"`
+	// PersistErrors counts snapshot failures over the store's life;
+	// LastPersistErr carries the latest one (empty after a success).
+	// Together they surface a failing disk on /v1/stats — and through
+	// /healthz, which degrades to 503 while LastPersistErr is set.
+	PersistErrors  uint64 `json:"persist_errors,omitempty"`
+	LastPersistErr string `json:"last_persist_err,omitempty"`
 }
 
-// Infos snapshots every created store. Stores mid-creation are not
-// yet visible (same non-blocking contract as Lookup).
-func (s *Stores) Infos() []StoreInfo {
+// Each calls fn for every created store, in sorted key order (stores
+// mid-creation are not yet visible). Shutdown paths use it to walk
+// the stores without knowing their keys.
+func (s *Stores) Each(fn func(key registry.Key, st *Store)) {
+	for _, keyed := range s.snapshot() {
+		fn(keyed.key, keyed.st)
+	}
+}
+
+// FirstPersistErr returns the first store (in sorted key order) whose
+// latest snapshot attempt failed, or a nil error when every store can
+// persist — the /healthz degradation check.
+func (s *Stores) FirstPersistErr() (registry.Key, error) {
+	for _, keyed := range s.snapshot() {
+		if err := keyed.st.LastPersistErr(); err != nil {
+			return keyed.key, err
+		}
+	}
+	return registry.Key{}, nil
+}
+
+// keyedStore pairs a created store with its (generation-stripped) key.
+type keyedStore struct {
+	key registry.Key
+	st  *Store
+}
+
+// snapshot lists the created stores in sorted key order — the shared
+// walk behind Infos, Each, and FirstPersistErr. Indexed writes, then
+// sort: this package is under the rngdeterminism contract, so map
+// iteration must not feed an order-dependent append.
+func (s *Stores) snapshot() []keyedStore {
 	s.mu.Lock()
-	// Indexed writes, then sort: this package is under the
-	// rngdeterminism contract, so map iteration must not feed an
-	// order-dependent append.
 	keys := make([]registry.Key, len(s.m))
 	i := 0
 	for key := range s.m {
@@ -204,14 +236,24 @@ func (s *Stores) Infos() []StoreInfo {
 		entries[j] = s.m[key]
 	}
 	s.mu.Unlock()
-	out := make([]StoreInfo, 0, len(entries))
+	out := make([]keyedStore, 0, len(entries))
 	for j, e := range entries {
-		st := e.st.Load()
-		if st == nil {
-			continue
+		if st := e.st.Load(); st != nil {
+			out = append(out, keyedStore{key: keys[j], st: st})
 		}
+	}
+	return out
+}
+
+// Infos snapshots every created store. Stores mid-creation are not
+// yet visible (same non-blocking contract as Lookup).
+func (s *Stores) Infos() []StoreInfo {
+	keyed := s.snapshot()
+	out := make([]StoreInfo, 0, len(keyed))
+	for _, ks := range keyed {
+		st := ks.st
 		info := StoreInfo{
-			Key:           keys[j],
+			Key:           ks.key,
 			Generation:    st.Generation(),
 			DeltaFraction: st.DeltaFraction(),
 			PendingOps:    st.Pending(),
@@ -221,6 +263,10 @@ func (s *Stores) Infos() []StoreInfo {
 			SizeBytes:     st.SizeBytes(),
 			Engine:        st.Stats(),
 			LastAppliedID: st.LastApplied(),
+			PersistErrors: st.PersistErrors(),
+		}
+		if perr := st.LastPersistErr(); perr != nil {
+			info.LastPersistErr = perr.Error()
 		}
 		if ps, ok := st.PersistStats(); ok {
 			info.WALSegments = ps.Segments

@@ -99,6 +99,12 @@ const (
 	// across stores — the fleet-convergence signal: after a broadcast,
 	// every shard's value agrees.
 	MetricStoreLastApplied = "srj_store_last_applied_update_id"
+	// MetricStorePersistErrors counts snapshot failures across the
+	// process's stores — the alertable form of the /v1/stats
+	// last_persist_err field (and the /healthz degradation signal): a
+	// nonzero rate means a shard is serving from a log it can no
+	// longer prune.
+	MetricStorePersistErrors = "srj_store_persist_errors_total"
 
 	MetricRouterBackendUp       = "srj_router_backend_up"
 	MetricRouterBackendRequests = "srj_router_backend_requests_total"
@@ -110,7 +116,7 @@ const (
 const (
 	LabelAlgorithm = "algorithm" // validated against the known-algorithm list
 	LabelCode      = "code"      // a server.Code* outcome code
-	LabelBackend   = "backend"   // a configured backend address (fixed fleet)
+	LabelBackend   = "backend"   // a backend address (admin-bounded membership)
 	LabelReason    = "reason"    // eviction reason: "budget" or "manual"
 )
 

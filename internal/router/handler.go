@@ -16,6 +16,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
@@ -45,6 +46,10 @@ const writeDeadline = 30 * time.Second
 //	DELETE /v1/engines — broadcast eviction of one key
 //	GET    /v1/router  — routing stats (Stats: per-backend health
 //	                     and counters, per-key assignments)
+//	POST   /v1/router/backends — admin: add a backend to the live
+//	                     ring (health-probe + state transfer first)
+//	DELETE /v1/router/backends — admin: remove a backend (drain,
+//	                     evict its engines, pre-warm moved keys)
 //	GET    /healthz    — 200 while at least one backend is healthy
 //
 // Sample caps and dataset validation live on the backends; their
@@ -61,6 +66,8 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/engines", r.handleEngines)
 	mux.HandleFunc("DELETE /v1/engines", r.handleEvict)
 	mux.HandleFunc("GET /v1/router", r.handleRouterStats)
+	mux.HandleFunc("POST /v1/router/backends", r.handleAddBackend)
+	mux.HandleFunc("DELETE /v1/router/backends", r.handleRemoveBackend)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	mux.Handle("GET /metrics", obs.Handler(r.collectMetrics))
 	if r.pprof {
@@ -306,21 +313,82 @@ func (r *Router) handleRouterStats(w http.ResponseWriter, req *http.Request) {
 	json.NewEncoder(w).Encode(r.Stats())
 }
 
+// handleAddBackend grows the fleet: the JSON body names one backend
+// base URL, AddBackend does the probe + state transfer + ring swap,
+// and the response lists the resulting membership. Membership
+// refusals (already a member, an empty address) are 400s; a fleet
+// that cannot complete the transfer is a 502.
+func (r *Router) handleAddBackend(w http.ResponseWriter, req *http.Request) {
+	breq, ok := decodeBackendRequest(w, req)
+	if !ok {
+		return
+	}
+	if err := r.AddBackend(req.Context(), breq.Backend); err != nil {
+		writeMembershipError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(server.BackendsResponse{Backends: r.Backends()})
+}
+
+// handleRemoveBackend shrinks the fleet; same shapes as
+// handleAddBackend. Removal's drain/evict/pre-warm steps are
+// best-effort against an already-dead server, so removing a crashed
+// backend succeeds.
+func (r *Router) handleRemoveBackend(w http.ResponseWriter, req *http.Request) {
+	breq, ok := decodeBackendRequest(w, req)
+	if !ok {
+		return
+	}
+	if err := r.RemoveBackend(req.Context(), breq.Backend); err != nil {
+		writeMembershipError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(server.BackendsResponse{Backends: r.Backends()})
+}
+
+// decodeBackendRequest decodes the admin endpoints' one-field body.
+func decodeBackendRequest(w http.ResponseWriter, req *http.Request) (server.BackendRequest, bool) {
+	var breq server.BackendRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, server.MaxBodyBytes)).Decode(&breq); err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, "decoding request: %v", err)
+		return breq, false
+	}
+	if strings.TrimSpace(breq.Backend) == "" {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, "backend address is required")
+		return breq, false
+	}
+	return breq, true
+}
+
+// writeMembershipError sorts a membership failure into caller error
+// (the request named an address the fleet cannot accept) vs fleet
+// error (probe or state transfer failed).
+func writeMembershipError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrAlreadyMember) || errors.Is(err, ErrNotMember) || errors.Is(err, ErrLastBackend) {
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, "%v", err)
+		return
+	}
+	server.WriteError(w, http.StatusBadGateway, server.CodeInternal, "%v", err)
+}
+
 // handleHealthz answers from the health flags the background prober
 // and request outcomes maintain — a load balancer polling /healthz
 // every second must not multiply probe traffic onto the fleet, and a
 // single slow probe must not flap a backend's keys onto its ring
 // successor. Callers needing a live fleet check use Health/ProbeNow.
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	f := r.fleet.Load()
 	healthy := 0
-	for _, b := range r.backends {
+	for _, b := range f.backends {
 		if b.healthy.Load() {
 			healthy++
 		}
 	}
 	if healthy == 0 {
 		server.WriteError(w, http.StatusServiceUnavailable, server.CodeInternal,
-			"none of the %d backends is healthy", len(r.backends))
+			"none of the %d backends is healthy", len(f.backends))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

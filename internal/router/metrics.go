@@ -11,8 +11,11 @@ import (
 // srj_draw_samples_total, srj_requests_total, srj_uptime_seconds)
 // keep the same names and bucket bounds, so one dashboard aggregates
 // both tiers; the srj_router_* families are the routing state only
-// this tier owns. The backend label is bounded: the fleet is fixed at
-// construction.
+// this tier owns. The backend label is bounded: membership changes
+// only by operator action (construction or the admin endpoint), never
+// per request. A removed backend's series stop being emitted — its
+// counters leave with its fleet snapshot — which Prometheus treats as
+// a stale series, not a counter reset.
 func (r *Router) collectMetrics(m *obs.MetricSet) {
 	m.Gauge(obs.MetricUptime, "Process uptime.", time.Since(r.start).Seconds())
 	r.requests.Each(func(code string, n uint64) {
@@ -24,7 +27,7 @@ func (r *Router) collectMetrics(m *obs.MetricSet) {
 	m.Counter(obs.MetricDrawSamples, "Join samples delivered to clients.",
 		float64(r.drawSamples.Load()))
 
-	for _, b := range r.backends {
+	for _, b := range r.fleet.Load().backends {
 		label := obs.L(obs.LabelBackend, b.addr)
 		up := 0.0
 		if b.healthy.Load() {

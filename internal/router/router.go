@@ -22,6 +22,12 @@
 // context expiring surface unchanged — retrying a request the fleet
 // understood and refused would turn every client error into n client
 // errors and every cancellation into a stampede.
+//
+// Because the update broadcast keeps every shard's store a
+// byte-identical replica, reads need not pin to the ring owner:
+// Options.ReadReplicas spreads each key's draws across the first k
+// healthy nodes of its failover order, and AddBackend/RemoveBackend
+// resize the ring on a live router (see membership.go).
 package router
 
 import (
@@ -57,14 +63,31 @@ const (
 	// churn cannot grow it without bound; keys beyond the cap still
 	// route (the ring is stateless), they just go uncounted.
 	maxKeyStats = 1024
+	// maxKeySeqs bounds the per-key update sequencer map the same way.
+	// Evicting a cold sequencer is safe because probing the fleet for
+	// the key's highest last-applied ID is the documented cold-start
+	// path — a re-entering key re-probes and resumes the sequence.
+	maxKeySeqs = 1024
 )
 
 // Options configures New. The zero value serves: DefaultVNodes
-// virtual nodes, DefaultProbeInterval background probing, and
-// http.DefaultClient.
+// virtual nodes, DefaultProbeInterval background probing, one read
+// replica, and http.DefaultClient.
 type Options struct {
 	// VNodes is the virtual nodes per backend (default DefaultVNodes).
 	VNodes int
+	// ReadReplicas spreads each key's draws across the first k healthy
+	// nodes of its failover order instead of pinning every read to the
+	// ring owner (default 1 — today's owner-only routing). Safe
+	// because the update broadcast keeps every shard's store a
+	// byte-identical replica, and a nonzero request seed makes the
+	// sampled stream independent of which engine serves it. The
+	// replica choice is a deterministic tie-break from the request
+	// seed and the key hash — never wall clock or a global RNG — so a
+	// seeded draw returns byte-identical samples no matter which
+	// replica answers; unseeded draws rotate round-robin. Values
+	// beyond the healthy backend count are clamped per draw.
+	ReadReplicas int
 	// ProbeInterval paces background /healthz probes of every backend
 	// (default DefaultProbeInterval); negative disables probing —
 	// health is then tracked passively, from request outcomes only.
@@ -92,6 +115,17 @@ type backend struct {
 	requests  atomic.Uint64 // draw attempts routed here
 	failures  atomic.Uint64 // attempts the backend answered with an error or failed in transport
 	failovers atomic.Uint64 // transport failures that moved a draw onward
+	inflight  atomic.Int64  // draws currently streaming from this backend
+}
+
+// fleet is one immutable membership snapshot: the backends and the
+// ring built over their addresses, with ring indices positional into
+// the backends slice. Readers load one snapshot per operation and
+// never see a half-resized fleet; membership changes build a new
+// fleet and swap the pointer.
+type fleet struct {
+	backends []*backend
+	ring     *ring
 }
 
 // keyCounter is the per-key routing record.
@@ -101,22 +135,40 @@ type keyCounter struct {
 	failovers uint64
 }
 
-// Router routes engine keys across a fixed set of srjserver backends
-// by consistent hashing. Construct with New; Close stops the health
-// prober. Safe for concurrent use.
+// Router routes engine keys across a fleet of srjserver backends by
+// consistent hashing. Construct with New; Close stops the health
+// prober. Safe for concurrent use. The fleet is resizable at runtime
+// via AddBackend/RemoveBackend.
 type Router struct {
-	backends []*backend
-	ring     *ring
+	fleet    atomic.Pointer[fleet]
+	vnodes   int
+	replicas int
+	hc       *http.Client // shared by backend clients, kept for AddBackend
 	start    time.Time
 	logger   *slog.Logger
 	pprof    bool
 
 	// Push-side metrics. Per-backend series come from the backend
-	// atomics instead — the fleet is fixed at construction, so the
-	// backend label is bounded and those counters stay monotonic.
+	// atomics instead — membership is admin-bounded, so the backend
+	// label stays bounded and those counters stay monotonic per
+	// backend.
 	drawHist    *obs.Histogram  // srj_draw_duration_seconds (all algorithms, one proxy path)
 	drawSamples atomic.Uint64   // srj_draw_samples_total
 	requests    *obs.CounterVec // srj_requests_total{code}, fed by the handler
+
+	// rr rotates unseeded draws across read replicas.
+	rr atomic.Uint64
+
+	// updateMu fences updates against membership changes: every
+	// stamped broadcast holds the read side for its whole flight, and
+	// AddBackend holds the write side across state transfer + fleet
+	// swap — so an update either completes entirely against the old
+	// fleet (and is captured by the transferred snapshots) or starts
+	// after the swap (and broadcasts to the new node). Reads never
+	// block on it.
+	updateMu sync.RWMutex
+	// memberMu serializes membership operations among themselves.
+	memberMu sync.Mutex
 
 	probeStop chan struct{}
 	probeDone chan struct{}
@@ -127,19 +179,49 @@ type Router struct {
 	keysDropped uint64
 
 	// Per-key update sequencing (see ApplyUpdate). seqMu guards the
-	// map; each keySeq serializes stamping for its key.
-	seqMu sync.Mutex
-	seq   map[registry.Key]*keySeq
+	// map and the clock; each keySeq serializes stamping for its key.
+	seqMu    sync.Mutex
+	seq      map[registry.Key]*keySeq
+	seqClock uint64 // advances per keySeqFor call; orders eviction
 }
 
 // keySeq is the update-ID counter of one dataset key. init false
 // means the next stamp must first probe the fleet for its highest
 // last-applied ID — at first use, and again after any broadcast
-// failure left the fleet state uncertain.
+// failure left the fleet state uncertain. outstanding tracks stamps
+// currently in flight (refcounted, to tolerate concurrent retries at
+// one ID): a re-probe seeds next above them, so a failed broadcast
+// can never cause a concurrent in-flight ID to be re-stamped with
+// different contents — the one mistake probeSeq's doc calls
+// unrecoverable.
 type keySeq struct {
-	mu   sync.Mutex
-	init bool
-	next uint64
+	mu          sync.Mutex
+	init        bool
+	next        uint64
+	outstanding map[uint64]int
+	// dead marks an entry evicted from r.seq; a stamper that raced
+	// the eviction re-fetches a live entry instead of using it.
+	dead bool
+	// lastUse is the seqClock at the entry's latest keySeqFor hit;
+	// guarded by Router.seqMu, not ks.mu.
+	lastUse uint64
+}
+
+// note records a stamp entering flight. Caller holds ks.mu.
+func (ks *keySeq) note(id uint64) {
+	if ks.outstanding == nil {
+		ks.outstanding = make(map[uint64]int)
+	}
+	ks.outstanding[id]++
+}
+
+// done records a stamp leaving flight. Caller holds ks.mu.
+func (ks *keySeq) done(id uint64) {
+	if n := ks.outstanding[id]; n > 1 {
+		ks.outstanding[id] = n - 1
+	} else {
+		delete(ks.outstanding, id)
+	}
 }
 
 // New returns a router over the given backend base URLs (e.g.
@@ -151,6 +233,9 @@ func New(backends []string, opts Options) (*Router, error) {
 	}
 	if opts.VNodes <= 0 {
 		opts.VNodes = DefaultVNodes
+	}
+	if opts.ReadReplicas <= 0 {
+		opts.ReadReplicas = 1
 	}
 	if opts.ProbeInterval == 0 {
 		opts.ProbeInterval = DefaultProbeInterval
@@ -169,7 +254,9 @@ func New(backends []string, opts Options) (*Router, error) {
 		addrs = append(addrs, a)
 	}
 	r := &Router{
-		ring:     buildRing(addrs, opts.VNodes),
+		vnodes:   opts.VNodes,
+		replicas: opts.ReadReplicas,
+		hc:       opts.HTTPClient,
 		start:    time.Now(),
 		keys:     make(map[registry.Key]*keyCounter),
 		seq:      make(map[registry.Key]*keySeq),
@@ -178,11 +265,13 @@ func New(backends []string, opts Options) (*Router, error) {
 		drawHist: obs.NewHistogram(obs.DrawDurationBuckets),
 		requests: obs.NewCounterVec(),
 	}
+	f := &fleet{ring: buildRing(addrs, opts.VNodes)}
 	for _, a := range addrs {
 		b := &backend{addr: a, client: server.NewClient(a, opts.HTTPClient)}
 		b.healthy.Store(true) // optimistic until a probe or request says otherwise
-		r.backends = append(r.backends, b)
+		f.backends = append(f.backends, b)
 	}
+	r.fleet.Store(f)
 	if opts.ProbeInterval > 0 {
 		r.probeStop = make(chan struct{})
 		r.probeDone = make(chan struct{})
@@ -217,14 +306,15 @@ func (r *Router) probeLoop(interval time.Duration) {
 	}
 }
 
-// broadcast runs fn against every backend concurrently and returns
-// the per-backend results, indexed like r.backends. Fleet-wide
-// operations (probes, evictions, stats collection) use it so one
-// slow backend costs its own timeout, not everyone's summed.
-func (r *Router) broadcast(fn func(i int, b *backend) error) []error {
-	errs := make([]error, len(r.backends))
+// broadcast runs fn against every backend of the snapshot
+// concurrently and returns the per-backend results, indexed like
+// f.backends. Fleet-wide operations (probes, evictions, stats
+// collection) use it so one slow backend costs its own timeout, not
+// everyone's summed.
+func (f *fleet) broadcast(fn func(i int, b *backend) error) []error {
+	errs := make([]error, len(f.backends))
 	var wg sync.WaitGroup
-	for i, b := range r.backends {
+	for i, b := range f.backends {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
@@ -242,8 +332,9 @@ func (r *Router) broadcast(fn func(i int, b *backend) error) []error {
 func (r *Router) ProbeNow(ctx context.Context) int {
 	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
 	defer cancel()
+	f := r.fleet.Load()
 	healthy := 0
-	for _, err := range r.broadcast(func(_ int, b *backend) error {
+	for _, err := range f.broadcast(func(_ int, b *backend) error {
 		err := b.client.Health(ctx)
 		b.healthy.Store(err == nil)
 		return err
@@ -260,15 +351,17 @@ func (r *Router) ProbeNow(ctx context.Context) int {
 // smaller outage.
 func (r *Router) Health(ctx context.Context) error {
 	if n := r.ProbeNow(ctx); n == 0 {
-		return fmt.Errorf("router: none of the %d backends is healthy", len(r.backends))
+		return fmt.Errorf("router: none of the %d backends is healthy", len(r.fleet.Load().backends))
 	}
 	return nil
 }
 
-// Backends lists the backend base URLs in construction order.
+// Backends lists the backend base URLs of the current fleet, in
+// membership order (construction order, runtime additions appended).
 func (r *Router) Backends() []string {
-	out := make([]string, len(r.backends))
-	for i, b := range r.backends {
+	f := r.fleet.Load()
+	out := make([]string, len(f.backends))
+	for i, b := range f.backends {
 		out[i] = b.addr
 	}
 	return out
@@ -278,7 +371,8 @@ func (r *Router) Backends() []string {
 // stable assignment, ignoring health (failover is a per-draw detour,
 // not a reassignment). The same key normalization as Bind applies.
 func (r *Router) Locate(key registry.Key) string {
-	return r.backends[r.ring.owner(hashKey(normalizeKey(key)))].addr
+	f := r.fleet.Load()
+	return f.backends[f.ring.owner(hashKey(normalizeKey(key)))].addr
 }
 
 // normalizeKey applies the fleet-wide default algorithm, exactly like
@@ -347,13 +441,13 @@ func (b *Bound) DrawFunc(ctx context.Context, req engine.Request, fn func(batch 
 	return b.r.drawFunc(ctx, b.key, t, req.Seed, fn)
 }
 
-// drawFunc is the routed draw: walk the key's ring sequence (healthy
-// backends first), stream from the first that answers, and on a
-// transport failure resume on the next node without replaying what fn
-// already received — the retry re-requests the full stream and skips
-// the delivered prefix, so a seeded draw stays byte-identical whether
-// or not a shard died under it, and an unseeded one never double-
-// delivers.
+// drawFunc is the routed draw: walk the key's replica order (healthy
+// backends first, the chosen replica rotated to the front), stream
+// from the first that answers, and on a transport failure resume on
+// the next node without replaying what fn already received — the
+// retry re-requests the full stream and skips the delivered prefix,
+// so a seeded draw stays byte-identical whether or not a shard died
+// under it, and an unseeded one never double-delivers.
 func (r *Router) drawFunc(ctx context.Context, key registry.Key, t int, seed uint64, fn func(batch []geom.Pair) error) error {
 	sreq := server.SampleRequest{
 		Dataset:   key.Dataset,
@@ -363,7 +457,8 @@ func (r *Router) drawFunc(ctx context.Context, key registry.Key, t int, seed uin
 		DrawSeed:  seed,
 		T:         t,
 	}
-	order := r.order(key)
+	f := r.fleet.Load()
+	order := r.order(f, key, seed)
 	delivered := 0
 	failovers := 0
 	start := time.Now()
@@ -375,8 +470,9 @@ func (r *Router) drawFunc(ctx context.Context, key registry.Key, t int, seed uin
 	}()
 	var lastErr error
 	for _, bi := range order {
-		b := r.backends[bi]
+		b := f.backends[bi]
 		b.requests.Add(1)
+		b.inflight.Add(1)
 		skip := delivered
 		var fnErr error
 		err := b.client.SampleFunc(ctx, sreq, func(batch []geom.Pair) error {
@@ -395,6 +491,7 @@ func (r *Router) drawFunc(ctx context.Context, key registry.Key, t int, seed uin
 			}
 			return nil
 		})
+		b.inflight.Add(-1)
 		if err == nil {
 			b.healthy.Store(true)
 			r.noteKey(key, b.addr, failovers)
@@ -441,18 +538,25 @@ func (r *Router) drawFunc(ctx context.Context, key registry.Key, t int, seed uin
 }
 
 // order returns the backends to try for key: its ring sequence,
-// stably partitioned so currently-healthy nodes come first. With
-// everyone healthy this is exactly the ring walk from the key's
-// owner; with the owner down, the first healthy successor serves
-// without waiting out a connection timeout. Each health flag is
-// loaded exactly once — a flag flipping between two reads (a probe
+// stably partitioned so currently-healthy nodes come first, then —
+// with ReadReplicas > 1 — rotated so the chosen replica leads and the
+// other replicas remain the next failover targets. Each health flag
+// is loaded exactly once — a flag flipping between two reads (a probe
 // racing a draw) must not drop a backend from, or duplicate it in,
 // the failover order.
-func (r *Router) order(key registry.Key) []int {
-	seq := r.ring.sequence(hashKey(key), make([]int, 0, len(r.backends)))
-	healthy := make([]bool, len(r.backends))
+//
+// The replica choice is deterministic for seeded draws: mix64 over
+// the request seed and the key hash, so the same seeded request picks
+// the same replica on every router — and since every replica's store
+// is byte-identical and the stream seed is engine-independent, the
+// draw is byte-identical regardless. Unseeded draws rotate a shared
+// round-robin cursor instead.
+func (r *Router) order(f *fleet, key registry.Key, seed uint64) []int {
+	h := hashKey(key)
+	seq := f.ring.sequence(h, make([]int, 0, len(f.backends)))
+	healthy := make([]bool, len(f.backends))
 	for _, bi := range seq {
-		healthy[bi] = r.backends[bi].healthy.Load()
+		healthy[bi] = f.backends[bi].healthy.Load()
 	}
 	out := make([]int, 0, len(seq))
 	for _, bi := range seq {
@@ -460,12 +564,40 @@ func (r *Router) order(key registry.Key) []int {
 			out = append(out, bi)
 		}
 	}
+	nHealthy := len(out)
 	for _, bi := range seq {
 		if !healthy[bi] {
 			out = append(out, bi)
 		}
 	}
+	if k := r.replicas; k > 1 {
+		if k > nHealthy {
+			// Never spread onto known-unhealthy nodes: a degraded
+			// fleet serves from whoever is left.
+			k = nHealthy
+		}
+		if k > 1 {
+			var pick int
+			if seed != 0 {
+				pick = int(mix64(seed^h) % uint64(k))
+			} else {
+				pick = int(r.rr.Add(1) % uint64(k))
+			}
+			rotateLeft(out[:k], pick)
+		}
+	}
 	return out
+}
+
+// rotateLeft rotates s left by n (0 <= n < len(s)) in place.
+func rotateLeft(s []int, n int) {
+	if n == 0 {
+		return
+	}
+	tmp := make([]int, n)
+	copy(tmp, s[:n])
+	copy(s, s[n:])
+	copy(s[len(s)-n:], tmp)
 }
 
 // errKind sorts a failed draw attempt by whose fault it is, because
@@ -555,8 +687,9 @@ type Stats struct {
 // Stats snapshots the routing counters. Under concurrent traffic the
 // fields are individually, not jointly, consistent.
 func (r *Router) Stats() Stats {
-	st := Stats{Backends: make([]BackendStats, 0, len(r.backends))}
-	for _, b := range r.backends {
+	f := r.fleet.Load()
+	st := Stats{Backends: make([]BackendStats, 0, len(f.backends))}
+	for _, b := range f.backends {
 		st.Backends = append(st.Backends, BackendStats{
 			Addr:      b.addr,
 			Healthy:   b.healthy.Load(),
@@ -590,16 +723,17 @@ func (r *Router) Stats() Stats {
 // unreachable backend may still hold the engine.
 func (r *Router) EvictEngine(ctx context.Context, key registry.Key) (evicted bool, err error) {
 	key = normalizeKey(key)
-	dropped := make([]bool, len(r.backends))
-	errs := r.broadcast(func(i int, b *backend) error {
+	f := r.fleet.Load()
+	dropped := make([]bool, len(f.backends))
+	errs := f.broadcast(func(i int, b *backend) error {
 		ok, err := b.client.EvictEngine(ctx, key)
 		dropped[i] = ok
 		return err
 	})
-	for i := range r.backends {
+	for i := range f.backends {
 		evicted = evicted || dropped[i]
 		if errs[i] != nil && err == nil {
-			err = fmt.Errorf("router: evicting on %s: %w", r.backends[i].addr, errs[i])
+			err = fmt.Errorf("router: evicting on %s: %w", f.backends[i].addr, errs[i])
 		}
 	}
 	return evicted, err
@@ -621,7 +755,8 @@ type UpdateResult struct {
 // serve deleted points after the next failover — plus one more: the
 // key's sibling keys (same dataset, different l) live on other
 // shards, and a replicated update stream keeps every shard's store
-// serving the same point sets.
+// serving the same point sets (which is also what makes replicated
+// reads byte-identical).
 //
 // The router is the dataset's sequencer: each non-empty batch is
 // stamped with the next per-key update ID (seeded from the fleet's
@@ -639,40 +774,60 @@ type UpdateResult struct {
 // batch at that explicit ID (ApplyUpdateAt) is idempotent on backends
 // that took it and fills the gap on backends that did not. After any
 // failed broadcast the sequencer re-probes the fleet before stamping
-// again, so an aborted stamp cannot leave a permanent hole.
+// again — seeding above both the fleet's high-water mark and any
+// stamp still in flight — so an aborted stamp cannot leave a
+// permanent hole and cannot re-issue a concurrent in-flight ID.
 func (r *Router) ApplyUpdate(ctx context.Context, key registry.Key, u dynamic.Update) (UpdateResult, error) {
+	// Updates hold the membership read-fence for their whole flight;
+	// see updateMu.
+	r.updateMu.RLock()
+	defer r.updateMu.RUnlock()
 	key = normalizeKey(key)
+	f := r.fleet.Load()
 	if u.Empty() {
 		// A probe consults the fleet without consuming an ID.
-		return r.broadcastUpdate(ctx, key, u, 0)
+		return r.broadcastUpdate(ctx, f, key, u, 0)
 	}
-	ks := r.keySeqFor(key)
-	ks.mu.Lock()
+	ks := r.lockKeySeq(key)
 	if !ks.init {
-		last, err := r.probeSeq(ctx, key)
+		last, err := r.probeSeq(ctx, f, key)
 		if err != nil {
 			ks.mu.Unlock()
 			return UpdateResult{}, err
 		}
-		ks.next = last + 1
+		next := last + 1
+		// Never seed below a stamp still in flight: a concurrent
+		// update may hold a higher ID than any backend has applied
+		// yet, and re-stamping it with different contents would fork
+		// the sequence.
+		for id := range ks.outstanding {
+			if id >= next {
+				next = id + 1
+			}
+		}
+		ks.next = next
 		ks.init = true
 	}
 	id := ks.next
 	ks.next++
+	ks.note(id)
 	ks.mu.Unlock()
 	// The stamp is taken before the fan-out and the lock is NOT held
 	// across it: concurrent updates broadcast in parallel and may
 	// arrive at a backend reordered — its gap buffer restores ID
 	// order. What the lock guarantees is unique, gapless stamping.
-	res, err := r.applyAt(ctx, key, id, u)
+	res, err := r.applyAt(ctx, f, key, id, u)
+	ks.mu.Lock()
+	ks.done(id)
 	if err != nil {
 		// Some backends may hold the update, others not; re-probe
 		// before the next stamp so the sequence re-converges on what
-		// the fleet actually applied.
-		ks.mu.Lock()
+		// the fleet actually applied. Our own ID is already out of
+		// outstanding, so only stamps still genuinely in flight
+		// constrain the re-seed.
 		ks.init = false
-		ks.mu.Unlock()
 	}
+	ks.mu.Unlock()
 	return res, err
 }
 
@@ -682,39 +837,106 @@ func (r *Router) ApplyUpdate(ctx context.Context, key registry.Key, u dynamic.Up
 // backends that already hold it acknowledge idempotently, backends
 // with a gap fill it.
 func (r *Router) ApplyUpdateAt(ctx context.Context, key registry.Key, id uint64, u dynamic.Update) (UpdateResult, error) {
-	key = normalizeKey(key)
 	if id == 0 || u.Empty() {
 		return r.ApplyUpdate(ctx, key, u)
 	}
-	ks := r.keySeqFor(key)
-	ks.mu.Lock()
+	r.updateMu.RLock()
+	defer r.updateMu.RUnlock()
+	key = normalizeKey(key)
+	f := r.fleet.Load()
+	ks := r.lockKeySeq(key)
 	if ks.init && id >= ks.next {
 		// Never re-stamp an ID the caller has already used.
 		ks.next = id + 1
 	}
+	// Explicit retries count as in flight too: a failed ApplyUpdate's
+	// re-probe must not seed below an ID a caller is actively
+	// re-broadcasting.
+	ks.note(id)
 	ks.mu.Unlock()
-	return r.applyAt(ctx, key, id, u)
+	res, err := r.applyAt(ctx, f, key, id, u)
+	ks.mu.Lock()
+	ks.done(id)
+	ks.mu.Unlock()
+	return res, err
 }
 
 // applyAt broadcasts a stamped batch; the result always carries the
 // stamp, even when every backend failed, so callers (and the HTTP
 // error body) can hand it back for an idempotent retry.
-func (r *Router) applyAt(ctx context.Context, key registry.Key, id uint64, u dynamic.Update) (UpdateResult, error) {
-	res, err := r.broadcastUpdate(ctx, key, u, id)
+func (r *Router) applyAt(ctx context.Context, f *fleet, key registry.Key, id uint64, u dynamic.Update) (UpdateResult, error) {
+	res, err := r.broadcastUpdate(ctx, f, key, u, id)
 	res.UpdateID = id
 	return res, err
 }
 
-// keySeqFor returns (creating) the sequencer state of one key.
+// lockKeySeq returns the key's live sequencer entry with its lock
+// held. The loop covers a stamper racing eviction: keySeqFor may
+// return an entry evictKeySeqLocked kills before the lock lands, and
+// using it would stamp into state no longer reachable from r.seq.
+func (r *Router) lockKeySeq(key registry.Key) *keySeq {
+	for {
+		ks := r.keySeqFor(key)
+		ks.mu.Lock()
+		if !ks.dead {
+			return ks
+		}
+		ks.mu.Unlock()
+	}
+}
+
+// keySeqFor returns (creating) the sequencer state of one key,
+// evicting the coldest idle entry when the map is at maxKeySeqs.
 func (r *Router) keySeqFor(key registry.Key) *keySeq {
 	r.seqMu.Lock()
 	defer r.seqMu.Unlock()
+	r.seqClock++
 	ks, ok := r.seq[key]
-	if !ok {
-		ks = &keySeq{}
-		r.seq[key] = ks
+	if ok {
+		ks.lastUse = r.seqClock
+		return ks
 	}
+	if len(r.seq) >= maxKeySeqs {
+		r.evictKeySeqLocked()
+	}
+	ks = &keySeq{lastUse: r.seqClock}
+	r.seq[key] = ks
 	return ks
+}
+
+// evictKeySeqLocked drops the coldest evictable sequencer entry.
+// Caller holds r.seqMu. An entry is evictable when its lock is free
+// (TryLock — a held lock means a stamp is being taken right now) and
+// nothing it stamped is still in flight; if no entry qualifies the
+// map briefly exceeds the cap rather than blocking the write path.
+// The victim is marked dead under its own lock so a stamper that
+// fetched it before the delete re-fetches a live entry.
+func (r *Router) evictKeySeqLocked() {
+	var victimKey registry.Key
+	var victim *keySeq
+	for key, ks := range r.seq {
+		if !ks.mu.TryLock() {
+			continue
+		}
+		if len(ks.outstanding) > 0 {
+			ks.mu.Unlock()
+			continue
+		}
+		if victim == nil || ks.lastUse < victim.lastUse {
+			if victim != nil {
+				victim.mu.Unlock()
+			}
+			victimKey, victim = key, ks
+			continue
+		}
+		ks.mu.Unlock()
+	}
+	if victim == nil {
+		return
+	}
+	victim.dead = true
+	victim.mu.Unlock()
+	delete(r.seq, victimKey)
 }
 
 // probeSeq asks every backend for its last applied update ID (an
@@ -722,8 +944,8 @@ func (r *Router) keySeqFor(key registry.Key) *keySeq {
 // backend must answer: seeding the counter below an unreachable
 // backend's high-water mark could re-stamp an ID it already holds
 // with different contents, the one unrecoverable sequencing mistake.
-func (r *Router) probeSeq(ctx context.Context, key registry.Key) (uint64, error) {
-	res, err := r.broadcastUpdate(ctx, key, dynamic.Update{}, 0)
+func (r *Router) probeSeq(ctx context.Context, f *fleet, key registry.Key) (uint64, error) {
+	res, err := r.broadcastUpdate(ctx, f, key, dynamic.Update{}, 0)
 	if err != nil {
 		return 0, fmt.Errorf("router: seeding update sequence for %s: %w", key, err)
 	}
@@ -731,8 +953,8 @@ func (r *Router) probeSeq(ctx context.Context, key registry.Key) (uint64, error)
 }
 
 // broadcastUpdate fans one update (stamped with id when non-zero) out
-// to every backend and folds the responses.
-func (r *Router) broadcastUpdate(ctx context.Context, key registry.Key, u dynamic.Update, id uint64) (UpdateResult, error) {
+// to every backend of the snapshot and folds the responses.
+func (r *Router) broadcastUpdate(ctx context.Context, f *fleet, key registry.Key, u dynamic.Update, id uint64) (UpdateResult, error) {
 	ureq := server.UpdateRequest{
 		Dataset:   key.Dataset,
 		L:         key.L,
@@ -744,18 +966,18 @@ func (r *Router) broadcastUpdate(ctx context.Context, key registry.Key, u dynami
 		DeleteR:   u.DeleteR,
 		DeleteS:   u.DeleteS,
 	}
-	resps := make([]server.UpdateResponse, len(r.backends))
-	errs := r.broadcast(func(i int, b *backend) error {
+	resps := make([]server.UpdateResponse, len(f.backends))
+	errs := f.broadcast(func(i int, b *backend) error {
 		resp, err := b.client.ApplyUpdate(ctx, ureq)
 		resps[i] = resp
 		return err
 	})
 	var res UpdateResult
 	var err error
-	for i := range r.backends {
+	for i := range f.backends {
 		if errs[i] != nil {
 			if err == nil {
-				err = fmt.Errorf("router: updating on %s: %w", r.backends[i].addr, errs[i])
+				err = fmt.Errorf("router: updating on %s: %w", f.backends[i].addr, errs[i])
 			}
 			continue
 		}
@@ -781,15 +1003,16 @@ func (b *Bound) Apply(ctx context.Context, u dynamic.Update) (uint64, error) {
 // keyed by address. Unreachable backends are omitted; the first
 // error is returned alongside whatever was collected.
 func (r *Router) ServerStats(ctx context.Context) (map[string]server.StatsResponse, error) {
-	stats := make([]server.StatsResponse, len(r.backends))
-	errs := r.broadcast(func(i int, b *backend) error {
+	f := r.fleet.Load()
+	stats := make([]server.StatsResponse, len(f.backends))
+	errs := f.broadcast(func(i int, b *backend) error {
 		var err error
 		stats[i], err = b.client.Stats(ctx)
 		return err
 	})
-	out := make(map[string]server.StatsResponse, len(r.backends))
+	out := make(map[string]server.StatsResponse, len(f.backends))
 	var firstErr error
-	for i, b := range r.backends {
+	for i, b := range f.backends {
 		if errs[i] != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("router: stats from %s: %w", b.addr, errs[i])

@@ -1,0 +1,273 @@
+package router
+
+// White-box tests of the per-key update sequencer: the re-probe race
+// regression (a failed broadcast must never cause a concurrent
+// in-flight stamp to be re-issued with different contents) and the
+// bound on the sequencer map.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/geom"
+	"repro/internal/registry"
+	"repro/internal/server"
+)
+
+// seqBackend is a fake shard for sequencer tests: it answers
+// /v1/update like a store would — empty updates report the highest
+// applied ID, non-empty updates apply at their stamped ID — while
+// letting the test hold chosen updates in flight (gate) and fail
+// others (fail). Updates are identified by a marker: the ID of their
+// first inserted R point.
+type seqBackend struct {
+	t *testing.T
+
+	mu       sync.Mutex
+	applied  map[string]uint64           // per key: highest successfully applied update ID
+	byStamp  map[string]map[uint64]int32 // per key: update ID -> marker that carried it
+	conflict bool                        // one ID seen with two different markers
+
+	gate    map[int32]chan struct{} // marker -> release gate
+	fail    map[int32]bool          // markers answered with a 500
+	arrived chan int32              // marker arrival order
+}
+
+func newSeqBackend(t *testing.T) (*seqBackend, *httptest.Server) {
+	t.Helper()
+	sb := &seqBackend{
+		t:       t,
+		applied: map[string]uint64{},
+		byStamp: map[string]map[uint64]int32{},
+		gate:    map[int32]chan struct{}{},
+		fail:    map[int32]bool{},
+		arrived: make(chan int32, 64),
+	}
+	ts := httptest.NewServer(http.HandlerFunc(sb.serve))
+	t.Cleanup(ts.Close)
+	return sb, ts
+}
+
+// hold registers a gate for marker; the update stays in flight until
+// the returned func is called.
+func (sb *seqBackend) hold(marker int32) func() {
+	ch := make(chan struct{})
+	sb.mu.Lock()
+	sb.gate[marker] = ch
+	sb.mu.Unlock()
+	return func() { close(ch) }
+}
+
+func (sb *seqBackend) failMarker(marker int32) {
+	sb.mu.Lock()
+	sb.fail[marker] = true
+	sb.mu.Unlock()
+}
+
+func (sb *seqBackend) serve(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/update" {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	req, ok := server.DecodeUpdateRequest(w, r, 0)
+	if !ok {
+		return
+	}
+	// Sequences are per dataset key, exactly like real stores.
+	dkey := fmt.Sprintf("%s/%g/%s/%d", req.Dataset, req.L, req.Algorithm, req.Seed)
+	if len(req.InsertR) == 0 {
+		// A sequence probe: report the key's applied high-water mark.
+		sb.mu.Lock()
+		last := sb.applied[dkey]
+		sb.mu.Unlock()
+		json.NewEncoder(w).Encode(server.UpdateResponse{Generation: last, UpdateID: last})
+		return
+	}
+	marker := req.InsertR[0].ID
+	sb.mu.Lock()
+	if sb.byStamp[dkey] == nil {
+		sb.byStamp[dkey] = map[uint64]int32{}
+	}
+	if prev, seen := sb.byStamp[dkey][req.UpdateID]; seen && prev != marker {
+		// The unrecoverable sequencing mistake: one ID, two contents.
+		sb.conflict = true
+		sb.t.Errorf("update ID %d re-stamped: marker %d then %d", req.UpdateID, prev, marker)
+	}
+	sb.byStamp[dkey][req.UpdateID] = marker
+	gate := sb.gate[marker]
+	fail := sb.fail[marker]
+	sb.mu.Unlock()
+
+	sb.arrived <- marker
+	if gate != nil {
+		<-gate
+	}
+	if fail {
+		server.WriteError(w, http.StatusInternalServerError, server.CodeInternal, "injected failure for marker %d", marker)
+		return
+	}
+	sb.mu.Lock()
+	if req.UpdateID > sb.applied[dkey] {
+		sb.applied[dkey] = req.UpdateID
+	}
+	last := sb.applied[dkey]
+	sb.mu.Unlock()
+	json.NewEncoder(w).Encode(server.UpdateResponse{Generation: last, Ops: req.Ops().Ops(), UpdateID: req.UpdateID})
+}
+
+func seqRouter(t *testing.T, url string) *Router {
+	t.Helper()
+	rt, err := New([]string{url}, Options{ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func markerUpdate(marker int32) dynamic.Update {
+	return dynamic.Update{InsertR: []geom.Point{{ID: marker, X: 1, Y: 1}}}
+}
+
+func awaitMarker(t *testing.T, sb *seqBackend, want int32) {
+	t.Helper()
+	select {
+	case got := <-sb.arrived:
+		if got != want {
+			t.Fatalf("backend saw marker %d, want %d", got, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("marker %d never reached the backend", want)
+	}
+}
+
+// TestSequencerReprobeRace is the regression test for the re-probe
+// race: update A fails its broadcast while update B — holding a
+// higher stamped ID — is still in flight. The failure flips the key's
+// sequencer back to the probe-on-next-stamp state, and the fleet's
+// high-water mark is still below B's ID; before the fix the next
+// stamp re-seeded from the probe alone and re-issued B's ID with
+// different contents. The sequencer must seed above every stamp still
+// in flight.
+func TestSequencerReprobeRace(t *testing.T) {
+	sb, ts := newSeqBackend(t)
+	rt := seqRouter(t, ts.URL)
+	key := registry.Key{Dataset: "seq", L: 100, Algorithm: "bbst", Seed: 1}
+	ctx := context.Background()
+
+	// A (marker 1) stamps ID 1 and blocks in flight.
+	releaseA := sb.hold(1)
+	sb.failMarker(1)
+	resA := make(chan error, 1)
+	go func() {
+		_, err := rt.ApplyUpdate(ctx, key, markerUpdate(1))
+		resA <- err
+	}()
+	awaitMarker(t, sb, 1)
+
+	// B (marker 2) stamps ID 2 and blocks in flight.
+	releaseB := sb.hold(2)
+	resB := make(chan UpdateResult, 1)
+	go func() {
+		res, err := rt.ApplyUpdate(ctx, key, markerUpdate(2))
+		if err != nil {
+			t.Errorf("update B: %v", err)
+		}
+		resB <- res
+	}()
+	awaitMarker(t, sb, 2)
+
+	// A's broadcast fails; the sequencer goes back to probe-on-next-
+	// stamp with B (ID 2) still outstanding and the backend's high-
+	// water mark still 0.
+	releaseA()
+	if err := <-resA; err == nil {
+		t.Fatal("update A succeeded, want the injected failure")
+	}
+
+	// C must stamp ABOVE B's in-flight ID even though the re-probe
+	// reports 0 applied. Before the fix it stamped ID 1 and the next
+	// update re-issued B's ID 2 with C's successor contents.
+	resC, err := rt.ApplyUpdate(ctx, key, markerUpdate(3))
+	if err != nil {
+		t.Fatalf("update C: %v", err)
+	}
+	awaitMarker(t, sb, 3)
+	if resC.UpdateID <= 2 {
+		t.Fatalf("update C stamped ID %d, want > 2 (above the in-flight stamp)", resC.UpdateID)
+	}
+
+	// B lands after C — reordered on the wire, restored by ID at the
+	// store; here the fake just records it.
+	releaseB()
+	if res := <-resB; res.UpdateID != 2 {
+		t.Fatalf("update B stamped ID %d, want 2", res.UpdateID)
+	}
+
+	// D continues the sequence past C.
+	resD, err := rt.ApplyUpdate(ctx, key, markerUpdate(4))
+	if err != nil {
+		t.Fatalf("update D: %v", err)
+	}
+	awaitMarker(t, sb, 4)
+	if resD.UpdateID <= resC.UpdateID {
+		t.Fatalf("update D stamped ID %d, want > %d", resD.UpdateID, resC.UpdateID)
+	}
+
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.conflict {
+		t.Fatal("an update ID was re-stamped with different contents")
+	}
+}
+
+// TestKeySeqBounded: the sequencer map must stay capped like the
+// per-key routing stats — one entry per key forever was the leak.
+// Evicted keys re-probe on re-entry and resume their sequence.
+func TestKeySeqBounded(t *testing.T) {
+	sb, ts := newSeqBackend(t)
+	rt := seqRouter(t, ts.URL)
+	ctx := context.Background()
+
+	first := registry.Key{Dataset: "churn", L: 100, Algorithm: "bbst", Seed: 0}
+	for i := 0; i < maxKeySeqs+100; i++ {
+		key := registry.Key{Dataset: "churn", L: 100, Algorithm: "bbst", Seed: uint64(i)}
+		if _, err := rt.ApplyUpdate(ctx, key, markerUpdate(int32(i+1))); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		<-sb.arrived
+	}
+	rt.seqMu.Lock()
+	n := len(rt.seq)
+	_, firstLive := rt.seq[first]
+	rt.seqMu.Unlock()
+	if n > maxKeySeqs {
+		t.Fatalf("sequencer map has %d entries, cap is %d", n, maxKeySeqs)
+	}
+	if firstLive {
+		t.Fatal("coldest key survived 100 evictions past the cap")
+	}
+
+	// The evicted key re-enters: a fresh probe reseeds the sequence
+	// past what the fleet already applied, so the next stamp is unique.
+	res, err := rt.ApplyUpdate(ctx, first, markerUpdate(9999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sb.arrived
+	if res.UpdateID != 2 {
+		t.Fatalf("re-entered key stamped ID %d, want 2 (probe found 1 applied)", res.UpdateID)
+	}
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.conflict {
+		t.Fatal("an update ID was re-stamped with different contents")
+	}
+}

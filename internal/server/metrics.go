@@ -95,7 +95,7 @@ func (s *Server) collectMetrics(m *obs.MetricSet) {
 	var maxDelta float64
 	var pending int
 	var rebuilds, inplaceOps uint64
-	var walAppends, walSyncs, walSnapshots uint64
+	var walAppends, walSyncs, walSnapshots, persistErrs uint64
 	var walSegments int
 	var walBytes int64
 	persisted := false
@@ -112,7 +112,8 @@ func (s *Server) collectMetrics(m *obs.MetricSet) {
 		pending += in.PendingOps
 		rebuilds += in.Rebuilds
 		inplaceOps += in.InPlaceOps
-		persisted = persisted || in.WALSegments > 0 || in.WALAppends > 0 || in.WALSnapshots > 0
+		persisted = persisted || in.WALSegments > 0 || in.WALAppends > 0 || in.WALSnapshots > 0 || in.PersistErrors > 0
+		persistErrs += in.PersistErrors
 		walAppends += in.WALAppends
 		walSyncs += in.WALSyncs
 		walSnapshots += in.WALSnapshots
@@ -134,6 +135,7 @@ func (s *Server) collectMetrics(m *obs.MetricSet) {
 		m.Counter(obs.MetricWALAppends, "Update records written ahead to the log.", float64(walAppends))
 		m.Counter(obs.MetricWALSyncs, "Log fsyncs issued.", float64(walSyncs))
 		m.Counter(obs.MetricWALSnapshots, "Point-set snapshots persisted.", float64(walSnapshots))
+		m.Counter(obs.MetricStorePersistErrors, "Point-set snapshot attempts that failed.", float64(persistErrs))
 		m.Gauge(obs.MetricWALSegments, "Live log segments across stores.", float64(walSegments))
 		m.Gauge(obs.MetricWALBytes, "Live log bytes across stores.", float64(walBytes))
 	}

@@ -17,7 +17,11 @@
 //	DELETE /v1/engines — evict one engine by key (tools that insert
 //	                     throwaway keys, like srjbench -remote, clean
 //	                     up with this)
-//	GET    /healthz    — liveness
+//	POST   /v1/snapshot/dump    — one dataset's complete store state
+//	                              (router state transfer, donor side)
+//	POST   /v1/snapshot/install — adopt a transferred store state
+//	                              (router state transfer, recipient)
+//	GET    /healthz    — liveness; 503 when a store's persister fails
 //
 // Every request is bounded: t is capped (Config.MaxT, and the
 // buffering JSON transport at the lower Config.MaxTJSON), bodies are
@@ -72,6 +76,15 @@ type Config struct {
 	// generation-aware sampling. nil disables updates (POST
 	// /v1/update answers 501) and serves every dataset statically.
 	Stores *dynamic.Stores
+	// InstallStore adopts a transferred store state (POST
+	// /v1/snapshot/install): construct a store at the dump's
+	// generation and last-applied ID and register it for the key. The
+	// host process wires it (srj.NewServer does) because store
+	// construction, WAL attachment, and engine eviction live above
+	// this package. nil answers 501. Installing state the server
+	// already holds at the same or a newer last-applied ID must
+	// succeed idempotently.
+	InstallStore func(ctx context.Context, dump SnapshotDump) error
 	// MaxT caps the samples one request may ask for (default
 	// DefaultMaxT). Binary responses stream in constant memory, so
 	// this cap is about sampling work, not response size.
@@ -132,6 +145,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	s.mux.HandleFunc("DELETE /v1/engines", s.handleEvict)
+	s.mux.HandleFunc("POST /v1/snapshot/dump", s.handleSnapshotDump)
+	s.mux.HandleFunc("POST /v1/snapshot/install", s.handleSnapshotInstall)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.Handler(s.collectMetrics))
 	if cfg.EnablePprof {
@@ -589,7 +604,19 @@ func DecodeEvictRequest(w http.ResponseWriter, r *http.Request) (req SampleReque
 	return req, true
 }
 
+// handleHealthz is liveness plus one degradation check: a store whose
+// persister is failing (disk full, permissions) still serves reads
+// from memory, but it can no longer bound its recovery time — so the
+// health answer flips to 503 and the router's prober takes the shard
+// out of the healthy read set instead of letting it degrade silently.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Stores != nil {
+		if key, err := s.cfg.Stores.FirstPersistErr(); err != nil {
+			WriteError(w, http.StatusServiceUnavailable, CodeInternal,
+				"degraded: store %s cannot persist: %v", key, err)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }

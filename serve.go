@@ -302,14 +302,75 @@ func NewServer(opts *ServerOptions) (*Server, error) {
 			}
 		}
 	}
+	// installStore backs POST /v1/snapshot/install: the router's state
+	// transfer hands this server a dataset's complete store state when
+	// it joins a live fleet, and the server adopts it at the dump's
+	// generation and last-applied update ID — so the router's next
+	// sequenced broadcast applies here gap-free.
+	installStore := func(ctx context.Context, dump server.SnapshotDump) error {
+		key := dump.Key()
+		if err := validateKey(key); err != nil {
+			return err
+		}
+		if st, ok := stores.Lookup(key); ok {
+			// Idempotent re-install: state we already hold (same or
+			// newer last-applied ID) acknowledges without rebuilding.
+			// Installing *newer* state over a live store is refused —
+			// the store owns its sequence, and the gap between its ID
+			// and the dump's is the sequenced-update path's to fill.
+			if st.LastApplied() >= dump.LastAppliedID {
+				return nil
+			}
+			return fmt.Errorf("%w: store for %s is live at update %d, cannot install at %d",
+				dynamic.ErrUpdateSequence, key, st.LastApplied(), dump.LastAppliedID)
+		}
+		st, err := NewStore(dump.R, dump.S, key.L, &StoreOptions{
+			Algorithm:          Algorithm(key.Algorithm),
+			Seed:               key.Seed,
+			MaxT:               o.MaxT,
+			initialGeneration:  dump.Generation,
+			initialLastApplied: dump.LastAppliedID,
+		})
+		if err != nil {
+			return err
+		}
+		st.st.SetOnGeneration(func(gen uint64) {
+			stale := key
+			stale.Generation = gen
+			reg.EvictOlder(stale)
+		})
+		if mgr != nil {
+			ds, err := mgr.Open(key)
+			if err != nil {
+				return err
+			}
+			// Persist the transferred base before taking writes: a
+			// crash after the install must recover to the installed
+			// state, not to seed data missing the donor's history.
+			if err := ds.Snapshot(dump.Generation, dump.LastAppliedID, dump.R, dump.S); err != nil {
+				return err
+			}
+			st.st.SetPersister(ds)
+		}
+		if err := stores.Adopt(key, st.st); err != nil {
+			// A concurrent install (or first update) won the race;
+			// re-check whether what landed already covers this dump.
+			if live, ok := stores.Lookup(key); ok && live.LastApplied() >= dump.LastAppliedID {
+				return nil
+			}
+			return err
+		}
+		return nil
+	}
 	h, err := server.New(server.Config{
-		Registry:    reg,
-		Stores:      stores,
-		MaxT:        o.MaxT,
-		Timeout:     o.Timeout,
-		Logger:      o.Logger,
-		SlowDraw:    o.SlowDraw,
-		EnablePprof: o.EnablePprof,
+		Registry:     reg,
+		Stores:       stores,
+		InstallStore: installStore,
+		MaxT:         o.MaxT,
+		Timeout:      o.Timeout,
+		Logger:       o.Logger,
+		SlowDraw:     o.SlowDraw,
+		EnablePprof:  o.EnablePprof,
 	})
 	if err != nil {
 		return nil, err
@@ -373,16 +434,34 @@ func recoverDataset(mgr *wal.Manager, stores *dynamic.Stores, reg *registry.Regi
 	return stores.Adopt(key, st.st)
 }
 
-// Close releases the server's durability resources: the write-ahead
-// logs are synced and closed and their background flushers stopped.
-// A server without a DataDir has nothing to close. The HTTP handler
-// itself holds no resources — stop accepting requests before Close,
-// or late updates fail their write-ahead append.
+// shutdownSnapshotTimeout bounds the shutdown snapshots of Close —
+// shutdown must terminate even when a disk is wedged.
+const shutdownSnapshotTimeout = 30 * time.Second
+
+// Close releases the server's durability resources: every dynamic
+// store takes one final snapshot at its current state (so the next
+// start replays zero log records — snapshot-on-shutdown bounds
+// recovery time), then the write-ahead logs are synced and closed and
+// their background flushers stopped. A server without a DataDir has
+// nothing to close. The HTTP handler itself holds no resources — stop
+// accepting requests before Close, or late updates fail their
+// write-ahead append.
 func (s *Server) Close() error {
 	if s.wal == nil {
 		return nil
 	}
-	return s.wal.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownSnapshotTimeout)
+	defer cancel()
+	var firstErr error
+	s.stores.Each(func(key EngineKey, st *dynamic.Store) {
+		if err := st.SnapshotNow(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("srj: snapshot on shutdown for %s: %w", key, err)
+		}
+	})
+	if err := s.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // BuiltinDatasets returns the dataset resolver NewServer uses by
@@ -489,13 +568,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHT
 // home backend (so the fleet's aggregate memory budget scales
 // horizontally), transport failures fail over along the ring, and
 // Bind turns the router into a Source exactly like Client.Bind —
-// callers cannot tell a sharded fleet from a single engine. Construct
-// with NewRouter; Close stops the background health prober. See
-// RouterOptions for knobs, cmd/srjrouter for the standalone proxy.
+// callers cannot tell a sharded fleet from a single engine. With
+// RouterOptions.ReadReplicas > 1, reads spread across the first k
+// healthy ring nodes; AddBackend/RemoveBackend resize the ring on a
+// live router (state transfer included). Construct with NewRouter;
+// Close stops the background health prober. See RouterOptions for
+// knobs, cmd/srjrouter for the standalone proxy.
 type Router = router.Router
 
 // RouterOptions configures NewRouter: virtual nodes per backend,
-// health-probe cadence, and the shared http.Client.
+// read replicas per key (ReadReplicas — spread draws across the
+// first k healthy ring nodes while keeping seeded draws
+// byte-identical), health-probe cadence, and the shared http.Client.
 type RouterOptions = router.Options
 
 // RouterStats snapshots a Router's routing state: per-backend health

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	srj "repro"
@@ -265,6 +266,109 @@ func TestSourceAgreement(t *testing.T) {
 				if a.Pairs[i] != b.Pairs[i] {
 					t.Fatalf("seed %d: local and %s diverged at sample %d: %v vs %v",
 						seed, name, i, a.Pairs[i], b.Pairs[i])
+				}
+			}
+		}
+	}
+}
+
+// startCountedBackends is startBackends with a per-backend counter of
+// /v1/sample requests, for tests asserting where draws actually land.
+func startCountedBackends(t *testing.T, cfg srjtest.Config, n int) ([]string, []*atomic.Int64) {
+	t.Helper()
+	addrs := make([]string, n)
+	hits := make([]*atomic.Int64, n)
+	for i := 0; i < n; i++ {
+		srv, err := srj.NewServer(&srj.ServerOptions{
+			Datasets: func(name string) ([]srj.Point, []srj.Point, error) {
+				return cfg.R, cfg.S, nil
+			},
+			MaxT: cfg.MaxT,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &atomic.Int64{}
+		hits[i] = h
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sample" {
+				h.Add(1)
+			}
+			srv.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		addrs[i] = ts.URL
+	}
+	return addrs, hits
+}
+
+// TestSourceAgreementReplicated is the replicated-reads determinism
+// contract: a router spreading each key's draws across all three
+// backends (ReadReplicas 3), a router pinning reads to the ring owner
+// (the default), and a client talking to one backend directly must
+// produce byte-identical seeded draws — the replica tie-break may
+// choose any backend, never a different answer. The per-backend
+// counters then prove the k=3 router actually used the whole fleet:
+// with draws this equal, only the counters can tell the routers apart.
+func TestSourceAgreementReplicated(t *testing.T) {
+	R, S, l := srjtest.Data()
+	cfg := srjtest.Config{R: R, S: S, L: l, MaxT: 100_000, BuildSeed: 8}
+	addrs, hits := startCountedBackends(t, cfg, 3)
+	newRouterK := func(k int) *srj.Router {
+		rt, err := srj.NewRouter(addrs, srj.RouterOptions{
+			HTTPClient:    confTransport(t),
+			ProbeInterval: -1,
+			ReadReplicas:  k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rt.Close)
+		return rt
+	}
+	key := srj.EngineKey{Dataset: "conf", L: cfg.L, Seed: cfg.BuildSeed}
+	k3 := newRouterK(3).Bind(key)
+	k1 := newRouterK(1).Bind(key)
+	direct := srj.NewClientHTTP(addrs[0], confTransport(t)).Bind(key)
+	ctx := context.Background()
+
+	// Phase one: only the k=3 router draws, so the spread assertion
+	// below counts its requests alone. Distinct request seeds make the
+	// deterministic tie-break walk the replica set.
+	seeds := make([]uint64, 0, 32)
+	for s := uint64(1); s <= 32; s++ {
+		seeds = append(seeds, s*977)
+	}
+	replicated := make(map[uint64][]srj.Pair, len(seeds))
+	for _, seed := range seeds {
+		res, err := k3.Draw(ctx, srj.Request{T: 500, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d through k=3: %v", seed, err)
+		}
+		replicated[seed] = res.Pairs
+	}
+	for i, h := range hits {
+		if h.Load() == 0 {
+			t.Fatalf("backend %d served no draws: ReadReplicas=3 did not spread %d seeded requests", i, len(seeds))
+		}
+	}
+
+	// Phase two: the same draws through the owner-pinned router and the
+	// direct client must be byte-identical to the replicated answers.
+	for _, seed := range seeds {
+		for name, src := range map[string]srj.Source{"k=1 router": k1, "direct client": direct} {
+			res, err := src.Draw(ctx, srj.Request{T: 500, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d through %s: %v", seed, name, err)
+			}
+			want := replicated[seed]
+			if len(res.Pairs) != len(want) {
+				t.Fatalf("seed %d: %s drew %d pairs, k=3 drew %d", seed, name, len(res.Pairs), len(want))
+			}
+			for i := range want {
+				if res.Pairs[i] != want[i] {
+					t.Fatalf("seed %d: %s diverged from the replicated draw at sample %d: %v vs %v",
+						seed, name, i, res.Pairs[i], want[i])
 				}
 			}
 		}
